@@ -1,0 +1,66 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``test_fig*`` / ``test_table*`` module regenerates one figure or
+table of the paper's evaluation (§4.2, §5).  The heavy client sweeps are
+computed once per pytest session and shared across figures (Figures 5
+and 6 and Table 1 read the same grid, exactly like the paper); the
+``benchmark`` fixture times one representative scenario per figure so
+``--benchmark-only`` reports the simulator's own cost.
+
+``REPRO_SCALE`` (default 0.3) scales per-run transaction counts;
+``REPRO_SCALE=1`` reproduces the paper's full 10 000-transaction runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.core.experiment import Scenario, ScenarioConfig, ScenarioResult
+from repro.core.scenarios import (
+    CLIENT_LEVELS,
+    SYSTEM_CONFIGS,
+    scaled_transactions,
+)
+
+_grid_cache: Dict[Tuple[str, int], ScenarioResult] = {}
+
+
+def run_point(label: str, sites: int, cpus: int, clients: int) -> ScenarioResult:
+    """One point of the Figure 5/6 grid, cached for the session."""
+    key = (label, clients)
+    if key not in _grid_cache:
+        config = ScenarioConfig(
+            sites=sites,
+            cpus_per_site=cpus,
+            clients=clients,
+            transactions=scaled_transactions(),
+            seed=42 + clients,
+            sample_interval=2.0,
+            drain_time=5.0,
+        )
+        _grid_cache[key] = Scenario(config).run()
+    return _grid_cache[key]
+
+
+@pytest.fixture(scope="session")
+def performance_grid():
+    """All (system config, client level) points of Figures 5/6."""
+    grid = {}
+    for label, sites, cpus in SYSTEM_CONFIGS:
+        for clients in CLIENT_LEVELS:
+            grid[(label, clients)] = run_point(label, sites, cpus, clients)
+    return grid
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Paper-style fixed-width table on stdout (shown with pytest -s)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,116 @@
+"""Figure 6 — resource usage (§5.2).
+
+(a) CPU usage (simulated transaction jobs + real protocol jobs): one CPU
+is the bottleneck by 500 clients; the 3-CPU server reaches the same
+saturation near 1500; 6 CPUs / 6 sites handle the full load.
+(b) Disk bandwidth: with 6 CPUs — centralized or replicated — the disk
+becomes the bottleneck, the direct consequence of read-one/write-all.
+(c) Network: bytes transmitted grow linearly with clients; 6 sites carry
+more group-maintenance traffic than 3 sites.
+"""
+
+import pytest
+
+from conftest import print_table, run_point
+
+from repro.core.scenarios import CLIENT_LEVELS, SYSTEM_CONFIGS
+
+
+def test_fig6a_cpu_usage(benchmark, performance_grid):
+    series = {}
+    for label, _, _ in SYSTEM_CONFIGS:
+        series[label] = [
+            performance_grid[(label, c)].cpu_usage() for c in CLIENT_LEVELS
+        ]
+    benchmark.pedantic(
+        lambda: run_point("1 CPU", 1, 1, 100), rounds=1, iterations=1
+    )
+    rows = []
+    for i, clients in enumerate(CLIENT_LEVELS):
+        rows.append(
+            (clients,)
+            + tuple(
+                f"{series[label][i][0]*100:5.1f}"
+                for label, _, _ in SYSTEM_CONFIGS
+            )
+        )
+    print_table(
+        "Figure 6(a): CPU usage (%)",
+        ("clients",) + tuple(l for l, _, _ in SYSTEM_CONFIGS),
+        rows,
+    )
+    # one CPU approaches saturation by 500 clients
+    assert series["1 CPU"][1][0] > 0.80
+    # 3 CPUs reach a similar level only around 3x the load (1500)
+    assert series["3 CPU"][1][0] < 0.75
+    assert series["3 CPU"][3][0] > 0.75
+    # replicated tracks centralized with the same CPU count (protocol
+    # overhead is visible but small)
+    assert series["3 Sites"][2][0] == pytest.approx(
+        series["3 CPU"][2][0], abs=0.18
+    )
+    # protocol (real-job) share exists only in replicated runs and is small
+    assert series["3 CPU"][2][1] == 0.0
+    assert 0.0 < series["3 Sites"][2][1] < 0.10
+
+
+def test_fig6b_disk_usage(benchmark, performance_grid):
+    series = {}
+    for label, _, _ in SYSTEM_CONFIGS:
+        series[label] = [
+            performance_grid[(label, c)].disk_usage() for c in CLIENT_LEVELS
+        ]
+    benchmark.pedantic(
+        lambda: run_point("6 CPU", 1, 6, 2000), rounds=1, iterations=1
+    )
+    rows = [
+        (clients,)
+        + tuple(f"{series[l][i]*100:5.1f}" for l, _, _ in SYSTEM_CONFIGS)
+        for i, clients in enumerate(CLIENT_LEVELS)
+    ]
+    print_table(
+        "Figure 6(b): disk bandwidth usage (%)",
+        ("clients",) + tuple(l for l, _, _ in SYSTEM_CONFIGS),
+        rows,
+    )
+    # with 6 CPUs, centralized or 6 sites, the disk becomes the
+    # bottleneck at 2000 clients (read one / write all)
+    assert series["6 CPU"][-1] > 0.7
+    assert series["6 Sites"][-1] > 0.7
+    # disk usage grows with client count on every curve
+    for label, _, _ in SYSTEM_CONFIGS:
+        assert series[label][-1] > series[label][0]
+    # per-site disk load is the same replicated or not: every site
+    # applies every write
+    assert series["6 Sites"][-1] == pytest.approx(series["6 CPU"][-1], abs=0.2)
+
+
+def test_fig6c_network(benchmark, performance_grid):
+    series = {}
+    for label in ("3 Sites", "6 Sites"):
+        series[label] = [
+            performance_grid[(label, c)].network_kbps() for c in CLIENT_LEVELS
+        ]
+    benchmark.pedantic(
+        lambda: run_point("3 Sites", 3, 1, 100), rounds=1, iterations=1
+    )
+    rows = [
+        (clients, f"{series['3 Sites'][i]:7.1f}", f"{series['6 Sites'][i]:7.1f}")
+        for i, clients in enumerate(CLIENT_LEVELS)
+    ]
+    print_table(
+        "Figure 6(c): network traffic (KB/s)",
+        ("clients", "3 Sites", "6 Sites"),
+        rows,
+    )
+    # centralized configurations produce no protocol traffic at all
+    assert performance_grid[("1 CPU", 500)].network_kbps() == 0.0
+    # traffic grows linearly-ish with clients/throughput
+    three = series["3 Sites"]
+    assert three[-1] > 2.5 * three[1] * (CLIENT_LEVELS[1] / CLIENT_LEVELS[-1]) * 2
+    assert all(b >= a * 0.9 for a, b in zip(three, three[1:]))
+    # 6 sites carry more group-maintenance traffic than 3 sites
+    for i in range(len(CLIENT_LEVELS)):
+        assert series["6 Sites"][i] > series["3 Sites"][i] * 0.95
+    # a typical LAN comfortably handles the traffic (<< 100 Mbit/s)
+    assert series["6 Sites"][-1] < 12_500  # KB/s == 100 Mbit

@@ -1,0 +1,82 @@
+"""Table 2 — abort rates with faults, 3 sites / 1000 clients (§5.3).
+
+Random 5 % loss raises abort rates far more than bursty 5 % loss: the
+certification delays lengthen every conflict window.  delivery and
+payment — the contended classes — are hit hardest; read-only classes
+stay at 0.00.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.core.experiment import Scenario
+from repro.core.scenarios import fault_config, scaled_transactions
+
+ROWS = (
+    "delivery",
+    "neworder",
+    "payment-long",
+    "payment-short",
+    "orderstatus-long",
+    "orderstatus-short",
+    "stocklevel",
+    "All",
+)
+
+
+@pytest.fixture(scope="module")
+def fault_tables():
+    tables = {}
+    for kind in ("none", "random", "bursty"):
+        config = fault_config(
+            kind,
+            clients=1000,
+            sites=3,
+            transactions=scaled_transactions(),
+            seed=55,
+            sample_interval=2.0,
+            drain_time=8.0,
+        )
+        result = Scenario(config).run()
+        result.check_safety()
+        tables[kind] = result.metrics.abort_rate_table()
+    return tables
+
+
+def test_table2_abort_rates_with_faults(benchmark, fault_tables):
+    benchmark.pedantic(
+        lambda: {k: dict(v) for k, v in fault_tables.items()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (cls,)
+        + tuple(
+            f"{fault_tables[kind].get(cls, 0.0):6.2f}"
+            for kind in ("none", "random", "bursty")
+        )
+        for cls in ROWS
+    ]
+    print_table(
+        "Table 2: abort rates with 3 sites and 1000 clients (%)",
+        ("transaction", "no losses", "random 5%", "bursty 5%"),
+        rows,
+    )
+
+    none, random_, bursty = (
+        fault_tables["none"],
+        fault_tables["random"],
+        fault_tables["bursty"],
+    )
+    # loss raises the overall abort rate (certification delays lengthen
+    # every conflict window)
+    assert random_["All"] > none["All"]
+    assert bursty["All"] >= none["All"] * 0.8
+    # payment — the contended class — absorbs the damage
+    assert random_["payment-long"] > none["payment-long"]
+    assert random_["payment-short"] > none["payment-short"]
+    # read-only classes stay clean no matter what
+    for table in (none, random_, bursty):
+        assert table["orderstatus-short"] == 0.0
+        assert table["stocklevel"] == 0.0

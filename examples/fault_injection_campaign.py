@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Fault-injection campaign: the §5.3 experiment end to end.
+
+Runs a 3-site cluster under each of the paper's fault types — clock
+drift, scheduling latency, random loss, bursty loss, crash of a member,
+crash of the sequencer — and for each run verifies the safety condition
+(all operational sites committed exactly the same transaction sequence)
+and reports the performance impact.
+
+Run:  python examples/fault_injection_campaign.py
+"""
+
+import statistics
+
+from repro import Scenario, ScenarioConfig
+from repro.core.metrics import quantiles
+from repro.core.scenarios import safety_fault_plans
+
+
+def main() -> None:
+    plans = safety_fault_plans(sites=3, seed=7)
+    print(f"{'fault':<22s} {'records':>8s} {'tpm':>8s} "
+          f"{'cert p50/p99 (ms)':>18s} {'commits/site':>22s}")
+    for name in ("clock-drift", "scheduling-latency", "random-loss",
+                 "bursty-loss", "crash-member", "crash-sequencer"):
+        config = ScenarioConfig(
+            sites=3,
+            cpus_per_site=1,
+            clients=90,
+            transactions=600,
+            seed=123,
+            faults=plans[name],
+            max_sim_time=600.0,
+        )
+        result = Scenario(config).run()
+        counts = result.check_safety()  # raises on divergence
+        certs = result.metrics.certification_latencies()
+        if certs:
+            p50, p99 = quantiles(certs, (0.5, 0.99))
+            cert_col = f"{p50*1000:7.1f} / {p99*1000:7.1f}"
+        else:
+            cert_col = "-"
+        sites_col = " ".join(str(v) for v in counts.values())
+        print(f"{name:<22s} {len(result.metrics.records):8d} "
+              f"{result.throughput_tpm():8.1f} {cert_col:>18s} "
+              f"{sites_col:>22s}")
+    print("\nall six campaigns passed the safety check: operational sites "
+          "committed identical sequences; crashed sites hold a prefix")
+
+
+if __name__ == "__main__":
+    main()

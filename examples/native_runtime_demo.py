@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The same protocol code on a real network (paper §2.3).
+
+The group communication stack is written against an abstraction layer
+with two implementations: the simulation bridge used by every
+experiment, and a native bridge over ``threading.Timer`` + UDP sockets —
+the analogue of the paper's java.util.Timer / DatagramSocket bridge.
+This demo runs a 3-member group on real loopback sockets and shows
+atomic multicast delivering identical total orders, with zero changes to
+the protocol classes.
+
+Run:  python examples/native_runtime_demo.py
+"""
+
+import time
+
+from repro.core.runtime_api import NativeProtocolRuntime
+from repro.gcs.config import GcsConfig
+from repro.gcs.stack import GroupCommunication
+
+MEMBERS = 3
+MESSAGES = 12
+
+
+def main() -> None:
+    runtimes = [NativeProtocolRuntime(("127.0.0.1", 0), seed=i) for i in range(MEMBERS)]
+    addresses = {i: rt.local_address() for i, rt in enumerate(runtimes)}
+    endpoint_ids = {addr: i for i, addr in addresses.items()}
+    # loopback has no IP multicast group here: the stack falls back to
+    # unicast fan-out, exactly like the protocol does on WANs (§3.4)
+    config = GcsConfig(heartbeat_interval=0.2, stability_interval=0.2)
+    stacks = []
+    delivered = {i: [] for i in range(MEMBERS)}
+    for i, runtime in enumerate(runtimes):
+        fan_out = [addr for j, addr in addresses.items() if j != i]
+        stack = GroupCommunication(
+            runtime, i, addresses, fan_out, config=config,
+            endpoint_ids=endpoint_ids,
+        )
+        stack.on_deliver = (
+            lambda gseq, origin, payload, member=i:
+            delivered[member].append((gseq, origin, payload.decode()))
+        )
+        stacks.append(stack)
+    for runtime in runtimes:
+        runtime.start()
+    for stack in stacks:
+        stack.start()
+
+    print(f"{MEMBERS} members on real UDP sockets: {list(addresses.values())}")
+    for k in range(MESSAGES):
+        stacks[k % MEMBERS].multicast(f"msg-{k} from member {k % MEMBERS}".encode())
+        time.sleep(0.02)
+
+    deadline = time.time() + 10.0
+    while time.time() < deadline and any(
+        len(delivered[i]) < MESSAGES for i in range(MEMBERS)
+    ):
+        time.sleep(0.05)
+
+    orders = [tuple((g, o) for g, o, _ in delivered[i]) for i in range(MEMBERS)]
+    for i in range(MEMBERS):
+        print(f"member {i} delivered {len(delivered[i])} messages")
+    assert all(len(delivered[i]) == MESSAGES for i in range(MEMBERS)), (
+        "not all messages delivered in time"
+    )
+    assert orders[0] == orders[1] == orders[2], "total order violated!"
+    print("\nidentical total order at every member:")
+    for gseq, origin, text in delivered[0]:
+        print(f"  #{gseq:<3d} (origin {origin}) {text}")
+
+    for runtime in runtimes:
+        runtime.close()
+    print("\nsame protocol classes, real network — no code changes (§2.3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is declared in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose pip/setuptools
+combination predates PEP 660 editable wheels (legacy ``setup.py develop``
+path).
+"""
+
+from setuptools import setup
+
+setup()

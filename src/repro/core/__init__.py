@@ -1,0 +1,85 @@
+"""Simulation core: kernel, centralized runtime, faults, observation.
+
+The SSF-style discrete-event kernel, the centralized simulation runtime
+that executes real protocol code on simulated CPUs (the paper's §2
+contribution), the runtime abstraction protocol code is written against,
+fault injection, metrics, safety checking and scenario assembly.
+"""
+
+from .clock import CostModelTimer, CpuCostModel, ProfilingTimer, WallClockTimer
+from .cpu import CpuPool, Job, REAL_JOB, SIM_JOB, SimulatedCpu
+from .csrt import MEASURED, MODELED, RuntimeInterceptor, SiteRuntime
+from .experiment import Scenario, ScenarioConfig, ScenarioResult, Site
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    bursty_loss,
+    clock_drift,
+    random_loss,
+    scheduling_latency,
+)
+from .kernel import MS, US, Entity, Event, Process, Signal, SimulationError, Simulator
+from .metrics import (
+    MetricsCollector,
+    ResourceSampler,
+    TxRecord,
+    ecdf,
+    qq_points,
+    quantiles,
+)
+from .regression import Regression, RegressionSuite, ScenarioBaseline
+from .runtime_api import (
+    NativeProtocolRuntime,
+    ProtocolRuntime,
+    SimulatedProtocolRuntime,
+)
+from .safety import CommitLog, SafetyViolation, check_consistency
+
+__all__ = [
+    "CostModelTimer",
+    "CpuCostModel",
+    "ProfilingTimer",
+    "WallClockTimer",
+    "CpuPool",
+    "Job",
+    "REAL_JOB",
+    "SIM_JOB",
+    "SimulatedCpu",
+    "MEASURED",
+    "MODELED",
+    "RuntimeInterceptor",
+    "SiteRuntime",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Site",
+    "FaultInjector",
+    "FaultPlan",
+    "bursty_loss",
+    "clock_drift",
+    "random_loss",
+    "scheduling_latency",
+    "MS",
+    "US",
+    "Entity",
+    "Event",
+    "Process",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "MetricsCollector",
+    "ResourceSampler",
+    "TxRecord",
+    "ecdf",
+    "qq_points",
+    "quantiles",
+    "NativeProtocolRuntime",
+    "ProtocolRuntime",
+    "SimulatedProtocolRuntime",
+    "CommitLog",
+    "SafetyViolation",
+    "check_consistency",
+    "Regression",
+    "RegressionSuite",
+    "ScenarioBaseline",
+]

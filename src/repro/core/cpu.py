@@ -1,0 +1,240 @@
+"""Simulated CPUs: the resource real and simulated jobs compete for.
+
+The paper (§2.2) models a CPU as a boolean busy flag plus a queue of
+pending jobs with durations.  Simulated jobs (transaction processing
+operations) have durations known in advance; real jobs (protocol code) are
+executed when dequeued and their *measured* duration keeps the CPU busy.
+Real jobs have priority: a running simulated job is preempted — its
+remaining duration is put back at the head of the queue — so protocol code
+is never delayed behind modeled transaction work (§3.1).
+
+Per-kind busy-time accounting feeds the resource-usage results of
+Figures 6(a) and 7(c).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .kernel import Entity, Event, Simulator
+
+__all__ = ["Job", "SimulatedCpu", "CpuPool", "SIM_JOB", "REAL_JOB"]
+
+#: Kind marker for modeled jobs with a pre-known duration.
+SIM_JOB = "sim"
+#: Kind marker for real protocol code measured at execution time.
+REAL_JOB = "real"
+
+
+class Job:
+    """A unit of CPU work.
+
+    For ``SIM_JOB`` the ``duration`` is fixed up front and ``on_complete``
+    fires when it has been fully served.  For ``REAL_JOB`` the ``execute``
+    callable runs the real code and returns the measured duration; the CPU
+    is then held busy for that long before ``on_complete`` fires.
+    """
+
+    __slots__ = ("kind", "duration", "execute", "on_complete", "tag", "preemptions")
+
+    def __init__(
+        self,
+        kind: str,
+        duration: float = 0.0,
+        execute: Optional[Callable[[], float]] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+        tag: str = "",
+    ):
+        if kind not in (SIM_JOB, REAL_JOB):
+            raise ValueError(f"unknown job kind {kind!r}")
+        if kind == REAL_JOB and execute is None:
+            raise ValueError("real jobs require an execute callable")
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.kind = kind
+        self.duration = duration
+        self.execute = execute
+        self.on_complete = on_complete
+        self.tag = tag
+        self.preemptions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.kind} tag={self.tag!r} d={self.duration:.6f}>"
+
+
+class SimulatedCpu(Entity):
+    """One processor: busy flag, priority queues, preemption, accounting."""
+
+    def __init__(self, sim: Simulator, name: str = "cpu", speed_scale: float = 1.0):
+        super().__init__(sim, name)
+        if speed_scale <= 0:
+            raise ValueError("speed_scale must be positive")
+        #: Durations of *simulated* jobs are divided by this factor, so a
+        #: ``speed_scale`` of 2.0 models a CPU twice as fast as profiled.
+        self.speed_scale = speed_scale
+        self._real_queue: Deque[Job] = deque()
+        self._sim_queue: Deque[Job] = deque()
+        self._current: Optional[Job] = None
+        self._current_started = 0.0
+        self._end_event: Optional[Event] = None
+        #: Cumulative busy seconds by job kind, for utilization reports.
+        self.busy_time = {SIM_JOB: 0.0, REAL_JOB: 0.0}
+        self.jobs_completed = {SIM_JOB: 0, REAL_JOB: 0}
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current_kind(self) -> Optional[str]:
+        return self._current.kind if self._current else None
+
+    def queue_length(self) -> int:
+        return len(self._real_queue) + len(self._sim_queue)
+
+    def submit(self, job: Job) -> None:
+        """Enqueue ``job`` and dispatch, preempting a simulated job if the
+        newcomer is real code and the CPU is busy with modeled work."""
+        if job.kind == REAL_JOB:
+            self._real_queue.append(job)
+            if self._current is not None and self._current.kind == SIM_JOB:
+                self._preempt_current()
+        else:
+            self._sim_queue.append(job)
+        self._dispatch()
+
+    def utilization(self, elapsed: float) -> dict:
+        """Fraction of ``elapsed`` spent busy, split by job kind.
+
+        Includes the in-progress slice of the currently running job so
+        sampling mid-run does not under-report.
+        """
+        busy = dict(self.busy_time)
+        if self._current is not None:
+            busy[self._current.kind] += self.now - self._current_started
+        if elapsed <= 0:
+            return {SIM_JOB: 0.0, REAL_JOB: 0.0, "total": 0.0}
+        sim_frac = busy[SIM_JOB] / elapsed
+        real_frac = busy[REAL_JOB] / elapsed
+        return {SIM_JOB: sim_frac, REAL_JOB: real_frac, "total": sim_frac + real_frac}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _preempt_current(self) -> None:
+        """Push the running simulated job back with its remaining duration."""
+        job = self._current
+        assert job is not None and job.kind == SIM_JOB
+        assert self._end_event is not None
+        self._end_event.cancel()
+        served = self.now - self._current_started
+        self.busy_time[SIM_JOB] += served
+        remaining = max(0.0, (self._end_event.time - self.now)) * self.speed_scale
+        job.duration = remaining
+        job.preemptions += 1
+        self._sim_queue.appendleft(job)
+        self._current = None
+        self._end_event = None
+
+    def _dispatch(self) -> None:
+        if self._current is not None:
+            return
+        if self._real_queue:
+            job = self._real_queue.popleft()
+        elif self._sim_queue:
+            job = self._sim_queue.popleft()
+        else:
+            return
+        self._current = job
+        self._current_started = self.now
+        if job.kind == REAL_JOB:
+            assert job.execute is not None
+            duration = job.execute()
+            if duration < 0:
+                raise ValueError("measured duration must be non-negative")
+        else:
+            duration = job.duration / self.speed_scale
+        self._end_event = self.schedule(duration, self._complete, job)
+
+    def _complete(self, job: Job) -> None:
+        assert self._current is job
+        self.busy_time[job.kind] += self.now - self._current_started
+        self.jobs_completed[job.kind] += 1
+        self._current = None
+        self._end_event = None
+        if job.on_complete is not None:
+            job.on_complete()
+        self._dispatch()
+
+
+class CpuPool(Entity):
+    """A set of identical CPUs served round-robin (§3.1).
+
+    Placement prefers an idle CPU; failing that, a real job preempts the
+    CPU running modeled work, and modeled jobs go to the shortest queue
+    with a rotating tie-break so load spreads evenly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        count: int = 1,
+        name: str = "cpus",
+        speed_scale: float = 1.0,
+    ):
+        super().__init__(sim, name)
+        if count < 1:
+            raise ValueError("need at least one CPU")
+        self.cpus: List[SimulatedCpu] = [
+            SimulatedCpu(sim, f"{name}[{i}]", speed_scale) for i in range(count)
+        ]
+        self._rr = 0
+
+    def __len__(self) -> int:
+        return len(self.cpus)
+
+    def submit(self, job: Job) -> SimulatedCpu:
+        """Place ``job`` on a CPU and return the chosen CPU."""
+        cpu = self._choose(job)
+        cpu.submit(job)
+        return cpu
+
+    def _choose(self, job: Job) -> SimulatedCpu:
+        n = len(self.cpus)
+        # First choice: an idle CPU, scanning from the rotation point.
+        for offset in range(n):
+            cpu = self.cpus[(self._rr + offset) % n]
+            if not cpu.busy and cpu.queue_length() == 0:
+                self._rr = (self._rr + offset + 1) % n
+                return cpu
+        if job.kind == REAL_JOB:
+            # Prefer a CPU running modeled work (it will be preempted)
+            # over one already running real code.
+            for offset in range(n):
+                cpu = self.cpus[(self._rr + offset) % n]
+                if cpu.current_kind == SIM_JOB:
+                    self._rr = (self._rr + offset + 1) % n
+                    return cpu
+        best = min(
+            range(n),
+            key=lambda i: (
+                self.cpus[(self._rr + i) % n].queue_length(),
+                i,
+            ),
+        )
+        chosen = self.cpus[(self._rr + best) % n]
+        self._rr = (self._rr + best + 1) % n
+        return chosen
+
+    def utilization(self, elapsed: float) -> dict:
+        """Average utilization across all CPUs, split by job kind."""
+        totals = {SIM_JOB: 0.0, REAL_JOB: 0.0, "total": 0.0}
+        for cpu in self.cpus:
+            part = cpu.utilization(elapsed)
+            for key in totals:
+                totals[key] += part[key]
+        return {key: value / len(self.cpus) for key, value in totals.items()}

@@ -1,0 +1,331 @@
+"""Scenario assembly: the replicated database model of Figure 2.
+
+One :class:`Scenario` builds an entire experiment from a declarative
+:class:`ScenarioConfig`: the SSF-style simulator, the network fabric,
+per-site CPU pools / storage / lock manager / database server, the
+centralized runtime and protocol stack (for replicated configurations),
+the TPC-C client population, fault injectors, and the observation
+machinery.  ``Scenario.run()`` executes until the configured number of
+transactions completed (plus a drain window) and returns a
+:class:`ScenarioResult` with every log the paper's figures need.
+
+Centralized baselines (``sites=1``) run without any replication or
+group-communication machinery, exactly like the paper's 1/3/6-CPU
+single-site reference curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..db.lock import LockManager
+from ..db.server import DatabaseServer
+from ..db.storage import Storage
+from ..dbsm.replica import Replica
+from ..gcs.config import GcsConfig
+from ..gcs.stack import GroupCommunication
+from ..net.address import Endpoint, GroupAddress
+from ..net.capture import PacketCapture
+from ..net.network import Network
+from ..net.udp import UdpSocket
+from ..tpcc.client import ClientPool
+from ..tpcc.profiles import ProfileSet, default_profiles
+from ..tpcc.schema import warehouses_for_clients
+from ..tpcc.workload import TpccWorkload
+from .clock import CpuCostModel
+from .cpu import CpuPool
+from .csrt import MODELED, SiteRuntime
+from .faults import FaultInjector, FaultPlan
+from .kernel import Simulator
+from .metrics import MetricsCollector, ResourceSampler
+from .runtime_api import SimulatedProtocolRuntime
+from .safety import CommitLog, check_consistency
+
+__all__ = ["ScenarioConfig", "Scenario", "ScenarioResult", "Site"]
+
+_GROUP_PORT = 7000
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything that defines one experiment run."""
+
+    sites: int = 1
+    cpus_per_site: int = 1
+    clients: int = 100
+    #: Stop after this many client transactions completed (commit+abort).
+    transactions: int = 2000
+    seed: int = 42
+    profiles: Optional[ProfileSet] = None
+    gcs: GcsConfig = field(default_factory=GcsConfig)
+    #: Site index -> fault plan (sites without an entry run fault-free).
+    faults: Dict[int, FaultPlan] = field(default_factory=dict)
+    clock_mode: str = MODELED
+    #: Storage calibration (§4.1): 9.486 MB/s via 4 concurrent 4 KB
+    #: sectors at 1.727 ms each, reads fully cached.
+    storage_sector_latency: float = 1.727e-3
+    storage_concurrency: int = 4
+    storage_cache_hit_ratio: float = 1.0
+    #: Fabric calibration: switched Ethernet 100 (§4.1).
+    net_bandwidth_bps: float = 100e6
+    net_link_latency: float = 100e-6
+    #: Optional read-set table-lock escalation threshold (§3.3 ablation).
+    readset_escalation_threshold: Optional[int] = None
+    sample_interval: float = 5.0
+    #: Hard wall on simulated time (faulty runs may never hit the target).
+    max_sim_time: float = 20_000.0
+    drain_time: float = 15.0
+    probe_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sites < 1 or self.cpus_per_site < 1 or self.clients < 1:
+            raise ValueError("sites, cpus and clients must be positive")
+        if self.transactions < 1:
+            raise ValueError("transactions must be positive")
+
+
+@dataclass
+class Site:
+    """The assembled components of one database site."""
+
+    index: int
+    cpus: CpuPool
+    storage: Storage
+    server: DatabaseServer
+    clients: ClientPool
+    workload: TpccWorkload
+    runtime: Optional[SiteRuntime] = None
+    gcs: Optional[GroupCommunication] = None
+    replica: Optional[Replica] = None
+    injector: Optional[FaultInjector] = None
+
+
+class ScenarioResult:
+    """Run outputs: metrics, resource samples, capture, commit logs."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        metrics: MetricsCollector,
+        sampler: ResourceSampler,
+        capture: PacketCapture,
+        sites: List[Site],
+        sim_time: float,
+    ):
+        self.config = config
+        self.metrics = metrics
+        self.sampler = sampler
+        self.capture = capture
+        self.sites = sites
+        self.sim_time = sim_time
+
+    def commit_logs(self) -> List[CommitLog]:
+        return [s.replica.commit_log for s in self.sites if s.replica is not None]
+
+    def check_safety(self) -> Dict[str, int]:
+        """All operational sites committed the same sequence (§5.3)."""
+        logs = self.commit_logs()
+        if not logs:
+            return {}
+        return check_consistency(logs)
+
+    # -- headline numbers -------------------------------------------------
+    def throughput_tpm(self) -> float:
+        return self.metrics.throughput_tpm()
+
+    def mean_latency(self) -> float:
+        return self.metrics.mean_latency()
+
+    def abort_rate(self) -> float:
+        return self.metrics.abort_rate()
+
+    def cpu_usage(self) -> Tuple[float, float]:
+        """(total, protocol-real) mean CPU usage across sites, 0..1."""
+        return self.sampler.mean_cpu()
+
+    def disk_usage(self) -> float:
+        return self.sampler.mean_disk()
+
+    def network_kbps(self) -> float:
+        return self.sampler.net_kbytes_per_second()
+
+
+class Scenario:
+    """Builds and runs one experiment."""
+
+    def __init__(self, config: ScenarioConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.capture = PacketCapture(bucket_seconds=1.0, keep_entries=False)
+        self.network = Network(
+            self.sim,
+            default_bandwidth_bps=config.net_bandwidth_bps,
+            default_link_latency=config.net_link_latency,
+            capture=self.capture,
+        )
+        self.metrics = MetricsCollector()
+        self.profiles = config.profiles or default_profiles()
+        self.sites: List[Site] = []
+        self._group = GroupAddress("dbsm", _GROUP_PORT)
+        self._build_sites()
+        self.sampler = ResourceSampler(
+            self.sim,
+            interval=config.sample_interval,
+            cpu_pools=[s.cpus for s in self.sites],
+            storages=[s.storage for s in self.sites],
+            capture=self.capture,
+        )
+        self._done = False
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _build_sites(self) -> None:
+        config = self.config
+        replicated = config.sites > 1
+        members = {
+            i: Endpoint(f"site{i}", _GROUP_PORT) for i in range(config.sites)
+        }
+        endpoint_ids = {addr: i for i, addr in members.items()}
+        share, extra = divmod(config.clients, config.sites)
+        for index in range(config.sites):
+            site = self._build_site(
+                index,
+                replicated,
+                members,
+                endpoint_ids,
+                clients=share + (1 if index < extra else 0),
+                first_client_id=index * share + min(index, extra),
+            )
+            self.sites.append(site)
+
+    def _build_site(
+        self,
+        index: int,
+        replicated: bool,
+        members: Dict[int, Endpoint],
+        endpoint_ids: Dict[Endpoint, int],
+        clients: int,
+        first_client_id: int,
+    ) -> Site:
+        config = self.config
+        import random as _random
+
+        name = f"site{index}"
+        cpus = CpuPool(self.sim, config.cpus_per_site, name=f"{name}.cpu")
+        storage = Storage(
+            self.sim,
+            name=f"{name}.disk",
+            sector_latency=config.storage_sector_latency,
+            concurrency=config.storage_concurrency,
+            cache_hit_ratio=config.storage_cache_hit_ratio,
+            rng=_random.Random(config.seed * 1000 + index),
+        )
+        locks = LockManager(self.sim, f"{name}.locks")
+        server = DatabaseServer(
+            self.sim, name, cpus, storage, locks, metrics=self.metrics
+        )
+        workload = TpccWorkload(
+            warehouses=warehouses_for_clients(config.clients),
+            profiles=self.profiles,
+            rng=_random.Random(config.seed * 77 + index),
+            site_index=index,
+            site_count=config.sites,
+            readset_escalation_threshold=config.readset_escalation_threshold,
+        )
+        site = Site(
+            index=index,
+            cpus=cpus,
+            storage=storage,
+            server=server,
+            clients=None,  # type: ignore[arg-type]  (set below)
+            workload=workload,
+        )
+        if replicated:
+            self._attach_replication(site, members, endpoint_ids)
+        site.clients = ClientPool(
+            self.sim, server, workload, clients, first_id=first_client_id
+        )
+        return site
+
+    def _attach_replication(
+        self,
+        site: Site,
+        members: Dict[int, Endpoint],
+        endpoint_ids: Dict[Endpoint, int],
+    ) -> None:
+        config = self.config
+        index = site.index
+        host = self.network.add_host(f"site{index}")
+        socket = UdpSocket(host, _GROUP_PORT)
+        socket.join(self._group)
+        plan = config.faults.get(index, FaultPlan())
+        injector = FaultInjector(plan) if plan.has_faults() else None
+        runtime = SiteRuntime(
+            self.sim,
+            site.cpus,
+            mode=config.clock_mode,
+            cost_model=CpuCostModel(),
+            interceptor=injector,
+            name=f"site{index}.csrt",
+        )
+        runtime.network_send = socket.send
+        socket.set_receiver(runtime.deliver)
+        protocol_runtime = SimulatedProtocolRuntime(
+            runtime, members[index], seed=config.seed * 13 + index
+        )
+        group_dest = (
+            self._group
+            if self.network.multicast_capable(f"site{index}", self._group)
+            else [addr for i, addr in members.items() if i != index]
+        )
+        gcs = GroupCommunication(
+            protocol_runtime,
+            index,
+            members,
+            group_dest,
+            config=config.gcs,
+            endpoint_ids=endpoint_ids,
+        )
+        replica = Replica(index, site.server, gcs, runtime)
+        site.runtime = runtime
+        site.gcs = gcs
+        site.replica = replica
+        site.injector = injector
+        if plan.crash_at is not None:
+            self.sim.schedule(plan.crash_at, self._crash_site, site)
+
+    def _crash_site(self, site: Site) -> None:
+        assert site.replica is not None
+        site.replica.crash()
+        site.clients.stop_all()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        self.sampler.start()
+        for site in self.sites:
+            if site.gcs is not None:
+                site.gcs.start()
+        self.sim.schedule(self.config.probe_interval, self._probe)
+        self.sim.run(until=self.config.max_sim_time)
+        return ScenarioResult(
+            self.config,
+            self.metrics,
+            self.sampler,
+            self.capture,
+            self.sites,
+            self.sim.now,
+        )
+
+    def _probe(self) -> None:
+        if len(self.metrics.records) >= self.config.transactions:
+            if not self._done:
+                self._done = True
+                for site in self.sites:
+                    site.clients.stop_all()
+                self.sim.schedule(self.config.drain_time, self.sim.stop)
+            return
+        self.sim.schedule(self.config.probe_interval, self._probe)

@@ -1,0 +1,343 @@
+"""Discrete-event simulation kernel modeled after the Scalable Simulation
+Framework (SSF).
+
+The paper builds its tool on the Java SSF; this module is the Python
+equivalent substrate: a deterministic event queue plus two programming
+models layered on it:
+
+* **callback events** — ``Simulator.schedule`` runs a callable at a future
+  simulated instant; this is the style the protocol runtime uses.
+* **processes** — generator coroutines driven by :class:`Process`; the
+  database-server and client models are written in this style because
+  transactions are naturally sequential (fetch, process, write, commit).
+
+Simulated time is a ``float`` number of seconds.  Ties are broken by a
+monotonically increasing sequence number so the execution order is fully
+deterministic for a given schedule of calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Signal",
+    "Entity",
+    "SimulationError",
+    "MS",
+    "US",
+    "KB",
+    "MB",
+]
+
+#: One millisecond, in simulated seconds.
+MS = 1e-3
+#: One microsecond, in simulated seconds.
+US = 1e-6
+#: One kilobyte, in bytes (used pervasively by the network model).
+KB = 1024
+#: One megabyte, in bytes.
+MB = 1024 * 1024
+
+
+class SimulationError(Exception):
+    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and may be cancelled
+    before they fire.  A cancelled event stays in the heap but is skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq}{state}>"
+
+
+class Simulator:
+    """The discrete-event scheduler at the heart of the tool.
+
+    A single :class:`Simulator` instance owns the virtual clock for an
+    entire experiment: every simulated host, CPU, link, client and the
+    centralized runtime all schedule against it, which is precisely what
+    gives the tool global observation and control (the paper's §2.2).
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        ``delay`` must be non-negative; scheduling "now" (delay 0) is
+        permitted and runs after already-queued events for this instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, current time is {self._now!r}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the final simulated time.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drained earlier, mirroring SSF's bounded runs.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+                executed += 1
+                self.events_executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the currently executing event returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Start a generator coroutine as a simulated process.
+
+        The generator may yield:
+
+        * a number — sleep that many simulated seconds;
+        * a :class:`Signal` — suspend until the signal fires, receiving the
+          fired value as the result of the ``yield``;
+        * another :class:`Process` — suspend until that process terminates.
+        """
+        proc = Process(self, generator, name)
+        # Start on a fresh event so creation order equals start order but
+        # the caller's frame finishes first.
+        self.schedule(0.0, proc._step, None)
+        return proc
+
+
+class Signal:
+    """A one-shot or repeating wake-up condition for processes.
+
+    Processes that yield a signal are suspended until :meth:`fire` is
+    called, at which point all current waiters are resumed with the fired
+    value.  New waiters after a fire wait for the next fire (signals do not
+    latch) unless constructed with ``latch=True``, in which case a fired
+    signal immediately releases any later waiter with the stored value.
+    """
+
+    __slots__ = ("sim", "latch", "_fired", "_value", "_waiters")
+
+    def __init__(self, sim: Simulator, latch: bool = False):
+        self.sim = sim
+        self.latch = latch
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiting processes with ``value``."""
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0.0, waiter, value)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self.latch and self._fired:
+            self.sim.schedule(0.0, resume, self._value)
+        else:
+            self._waiters.append(resume)
+
+
+class Process:
+    """A running generator coroutine (see :meth:`Simulator.process`)."""
+
+    __slots__ = ("sim", "name", "_gen", "_done", "_result", "_done_signal")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._gen = generator
+        self._done = False
+        self._result: Any = None
+        self._done_signal = Signal(sim, latch=True)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        """Value returned by the generator (``None`` until done)."""
+        return self._result
+
+    def _step(self, sent_value: Any) -> None:
+        if self._done:
+            return
+        try:
+            yielded = self._gen.send(sent_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._step, None)
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(self._step)
+        elif isinstance(yielded, Process):
+            yielded._done_signal._add_waiter(self._step)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self._done = True
+        self._result = result
+        self._done_signal.fire(result)
+
+    def interrupt(self, error: Optional[BaseException] = None) -> None:
+        """Terminate the process.
+
+        If ``error`` is given it is thrown into the generator so ``finally``
+        blocks run; otherwise the generator is closed.  Used by the fault
+        injector to crash simulated components.
+        """
+        if self._done:
+            return
+        if error is not None:
+            try:
+                self._gen.throw(error)
+            except (StopIteration, type(error)):
+                pass
+        else:
+            self._gen.close()
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Entity:
+    """Base class for simulation components owning a reference to the clock.
+
+    SSF models are built as libraries of entities; ours follow suit.  The
+    class only centralizes the ``sim`` handle and scheduling helpers so
+    component code reads naturally.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name or type(self).__name__
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        return self.sim.schedule(delay, fn, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def drain(sim: Simulator, processes: Iterable[Process], until: float) -> None:
+    """Run ``sim`` until every process in ``processes`` finished or ``until``.
+
+    Convenience used by tests and examples.
+    """
+    sim.run(until=until)
+    unfinished = [p for p in processes if not p.done]
+    if unfinished:
+        raise SimulationError(f"{len(unfinished)} processes unfinished at t={until}")

@@ -1,0 +1,323 @@
+"""Observation: per-transaction logs and resource-usage sampling.
+
+The client model logs, for every transaction, the time at which it was
+submitted, the time at which it terminated, the outcome and an
+identifier (paper §3.2); latency, throughput and abort rate can then be
+computed for one or many users and for all or a subclass of the
+transactions.  The simulation runtime additionally logs the usage and
+queue lengths of every resource (§3.1), which is how Figures 6 and 7(c)
+are produced.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .kernel import Entity, Simulator
+
+__all__ = [
+    "TxRecord",
+    "MetricsCollector",
+    "ResourceSample",
+    "ResourceSampler",
+    "ecdf",
+    "quantiles",
+    "qq_points",
+]
+
+
+@dataclass(frozen=True)
+class TxRecord:
+    """One finished transaction as seen by its issuing client."""
+
+    tx_id: int
+    tx_class: str
+    site: str
+    submit_time: float
+    end_time: float
+    outcome: str  # "commit" | "abort"
+    readonly: bool
+    certification_latency: float = 0.0
+    abort_reason: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.end_time - self.submit_time
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome == "commit"
+
+
+class MetricsCollector:
+    """Accumulates transaction records and answers the paper's questions."""
+
+    def __init__(self) -> None:
+        self.records: List[TxRecord] = []
+
+    def record(self, record: TxRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # selections
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        tx_class: Optional[str] = None,
+        outcome: Optional[str] = None,
+        site: Optional[str] = None,
+        predicate: Optional[Callable[[TxRecord], bool]] = None,
+    ) -> List[TxRecord]:
+        out = []
+        for r in self.records:
+            if tx_class is not None and r.tx_class != tx_class:
+                continue
+            if outcome is not None and r.outcome != outcome:
+                continue
+            if site is not None and r.site != site:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def classes(self) -> Tuple[str, ...]:
+        return tuple(sorted({r.tx_class for r in self.records}))
+
+    # ------------------------------------------------------------------
+    # headline statistics
+    # ------------------------------------------------------------------
+    def throughput_tpm(self, elapsed: Optional[float] = None) -> float:
+        """Committed transactions per minute.
+
+        ``elapsed`` defaults to the span between the first submission and
+        the last completion (aborted transactions are not resubmitted,
+        §5.1, so they simply don't count)."""
+        committed = [r for r in self.records if r.committed]
+        if not committed:
+            return 0.0
+        if elapsed is None:
+            start = min(r.submit_time for r in self.records)
+            end = max(r.end_time for r in self.records)
+            elapsed = end - start
+        if elapsed <= 0:
+            return 0.0
+        return len(committed) * 60.0 / elapsed
+
+    def abort_rate(self, tx_class: Optional[str] = None) -> float:
+        """Fraction (0-100 %) of transactions of ``tx_class`` aborted."""
+        selected = self.select(tx_class=tx_class)
+        if not selected:
+            return 0.0
+        aborted = sum(1 for r in selected if not r.committed)
+        return 100.0 * aborted / len(selected)
+
+    def abort_rate_table(self) -> Dict[str, float]:
+        """Per-class abort rates plus the 'All' row of Tables 1 and 2."""
+        table = {cls: self.abort_rate(cls) for cls in self.classes()}
+        table["All"] = self.abort_rate()
+        return table
+
+    def latencies(
+        self, tx_class: Optional[str] = None, committed_only: bool = True
+    ) -> List[float]:
+        outcome = "commit" if committed_only else None
+        return [r.latency for r in self.select(tx_class=tx_class, outcome=outcome)]
+
+    def mean_latency(self, tx_class: Optional[str] = None) -> float:
+        values = self.latencies(tx_class)
+        return sum(values) / len(values) if values else 0.0
+
+    def certification_latencies(self) -> List[float]:
+        return [
+            r.certification_latency
+            for r in self.records
+            if r.certification_latency > 0
+        ]
+
+
+# ----------------------------------------------------------------------
+# distribution helpers (Figures 4 and 7)
+# ----------------------------------------------------------------------
+def ecdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF: sorted values and cumulative ratios (Figure 7)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    ratios = [(i + 1) / n for i in range(n)]
+    return ordered, ratios
+
+
+def ecdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of ``values`` less than or equal to ``x``."""
+    ordered = sorted(values)
+    return bisect.bisect_right(ordered, x) / len(ordered) if ordered else 0.0
+
+
+def quantiles(values: Sequence[float], probs: Iterable[float]) -> List[float]:
+    """Linear-interpolation quantiles of ``values`` at ``probs``."""
+    ordered = sorted(values)
+    if not ordered:
+        return [math.nan for _ in probs]
+    out = []
+    n = len(ordered)
+    for p in probs:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("quantile probs must be in [0, 1]")
+        pos = p * (n - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+        # interpolation between in-range values can escape the range by
+        # one ulp; clamp so quantiles always lie within the sample
+        out.append(min(max(value, ordered[lo]), ordered[hi]))
+    return out
+
+
+def qq_points(
+    sample_a: Sequence[float], sample_b: Sequence[float], points: int = 50
+) -> List[Tuple[float, float]]:
+    """Quantile-quantile pairs for the Figure 4 validation plots.
+
+    Returns ``points`` (quantile-of-a, quantile-of-b) pairs; a model that
+    approximates the real system puts these near the diagonal."""
+    probs = [i / (points - 1) for i in range(points)]
+    qa = quantiles(sample_a, probs)
+    qb = quantiles(sample_b, probs)
+    return list(zip(qa, qb))
+
+
+# ----------------------------------------------------------------------
+# resource usage sampling (Figure 6)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResourceSample:
+    """Per-interval resource usage (not cumulative): each sample covers
+    the window ending at ``time``."""
+
+    time: float
+    cpu_total: float  # mean across sampled CPU pools, 0..1
+    cpu_real: float  # fraction spent in real (protocol) jobs
+    disk: float  # storage utilization, 0..1
+    net_bytes: int  # fabric bytes transferred during the window
+
+
+class ResourceSampler(Entity):
+    """Samples CPU/disk/network usage per interval during a run.
+
+    Utilizations are interval deltas of the resources' busy-time
+    counters, so ramp-up and drain phases do not dilute steady-state
+    readings; the ``steady_*`` accessors additionally trim the first and
+    last fifth of the samples (the paper's runs discard warm-up too).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float = 1.0,
+        cpu_pools: Sequence[object] = (),
+        storages: Sequence[object] = (),
+        capture: Optional[object] = None,
+    ):
+        super().__init__(sim, "sampler")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.cpu_pools = list(cpu_pools)
+        self.storages = list(storages)
+        self.capture = capture
+        self.samples: List[ResourceSample] = []
+        self._started = False
+        self._last_cpu: List[Tuple[float, float]] = []
+        self._last_disk: List[float] = []
+        self._last_net = 0
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._last_cpu = [self._pool_busy(pool) for pool in self.cpu_pools]
+        self._last_disk = [s.stats.busy_time for s in self.storages]
+        self._last_net = self.capture.total_bytes if self.capture else 0
+        self.schedule(self.interval, self._tick)
+
+    def _pool_busy(self, pool) -> Tuple[float, float]:
+        """(sim, real) cumulative busy seconds over a pool's CPUs,
+        including the running slice of in-progress jobs."""
+        sim_busy = real_busy = 0.0
+        for cpu in pool.cpus:
+            usage = dict(cpu.busy_time)
+            if cpu.busy:
+                usage[cpu.current_kind] += self.now - cpu._current_started
+            sim_busy += usage["sim"]
+            real_busy += usage["real"]
+        return sim_busy, real_busy
+
+    def _tick(self) -> None:
+        cpu_total = cpu_real = 0.0
+        if self.cpu_pools:
+            fractions_total = []
+            fractions_real = []
+            for i, pool in enumerate(self.cpu_pools):
+                now_busy = self._pool_busy(pool)
+                window = self.interval * len(pool.cpus)
+                delta_sim = now_busy[0] - self._last_cpu[i][0]
+                delta_real = now_busy[1] - self._last_cpu[i][1]
+                self._last_cpu[i] = now_busy
+                fractions_total.append((delta_sim + delta_real) / window)
+                fractions_real.append(delta_real / window)
+            cpu_total = sum(fractions_total) / len(fractions_total)
+            cpu_real = sum(fractions_real) / len(fractions_real)
+        disk = 0.0
+        if self.storages:
+            values = []
+            for i, storage in enumerate(self.storages):
+                busy = storage.stats.busy_time
+                window = self.interval * storage.concurrency
+                values.append(min(1.0, (busy - self._last_disk[i]) / window))
+                self._last_disk[i] = busy
+            disk = sum(values) / len(values)
+        net_now = self.capture.total_bytes if self.capture else 0
+        net_delta = net_now - self._last_net
+        self._last_net = net_now
+        self.samples.append(
+            ResourceSample(self.now, cpu_total, cpu_real, disk, net_delta)
+        )
+        self.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _steady_window(self) -> List[ResourceSample]:
+        """Samples with the first and last 20 % trimmed (>=1 retained)."""
+        n = len(self.samples)
+        if n == 0:
+            return []
+        lo = n // 5
+        hi = max(lo + 1, n - n // 5)
+        return self.samples[lo:hi]
+
+    def mean_cpu(self) -> Tuple[float, float]:
+        """Steady-state (total, real-job) CPU usage, 0..1."""
+        window = self._steady_window()
+        if not window:
+            return 0.0, 0.0
+        total = sum(s.cpu_total for s in window) / len(window)
+        real = sum(s.cpu_real for s in window) / len(window)
+        return total, real
+
+    def mean_disk(self) -> float:
+        window = self._steady_window()
+        if not window:
+            return 0.0
+        return sum(s.disk for s in window) / len(window)
+
+    def net_kbytes_per_second(self) -> float:
+        window = self._steady_window()
+        if not window:
+            return 0.0
+        per_second = sum(s.net_bytes for s in window) / (
+            len(window) * self.interval
+        )
+        return per_second / 1024.0

@@ -1,0 +1,203 @@
+"""Automated regression testing over load and fault scenarios (paper §7).
+
+The paper's closing observation: "As different components are modified
+by separate developers, the ability to autonomously run a set of
+realistic load and fault scenarios and automatically check for
+performance or reliability regressions has proved invaluable."  This
+module is that harness: a :class:`RegressionSuite` owns a set of named
+scenarios, records baseline metrics to JSON, and on later runs replays
+the same scenarios and flags
+
+* **reliability regressions** — a safety violation, or a scenario that
+  no longer completes its transactions; these always fail;
+* **performance regressions** — headline metrics drifting past a
+  per-metric relative tolerance against the recorded baseline.
+
+Determinism of the cost-model clock makes the comparison sharp: a clean
+tree reproduces its baseline bit-for-bit, so any drift is a real change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .experiment import Scenario, ScenarioConfig, ScenarioResult
+from .metrics import quantiles
+from .safety import SafetyViolation
+
+__all__ = ["RegressionSuite", "Regression", "ScenarioBaseline"]
+
+#: Metrics captured per scenario and their default relative tolerances.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "throughput_tpm": 0.10,
+    "mean_latency": 0.15,
+    "abort_rate": 0.25,
+    "cert_p99": 0.35,
+    "protocol_cpu": 0.30,
+}
+#: Metrics where only growth (resp. shrinkage) is a regression.
+_HIGHER_IS_BETTER = {"throughput_tpm"}
+_ABSOLUTE_FLOOR = {
+    # ignore drift below these absolute values (noise around zero)
+    "abort_rate": 0.5,  # percentage points
+    "cert_p99": 0.002,  # seconds
+    "protocol_cpu": 0.002,  # fraction
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One detected regression."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    measured: float
+    kind: str  # "performance" | "reliability"
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.scenario}.{self.metric}: "
+            f"baseline {self.baseline:.4g}, measured {self.measured:.4g}"
+        )
+
+
+@dataclass
+class ScenarioBaseline:
+    """Recorded metrics of one scenario run."""
+
+    name: str
+    metrics: Dict[str, float]
+    completed: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "metrics": self.metrics,
+            "completed": self.completed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ScenarioBaseline":
+        return cls(
+            name=str(data["name"]),
+            metrics={k: float(v) for k, v in dict(data["metrics"]).items()},
+            completed=int(data["completed"]),
+        )
+
+
+class RegressionSuite:
+    """A set of named scenarios with record/check semantics."""
+
+    def __init__(
+        self,
+        scenarios: Dict[str, ScenarioConfig],
+        tolerances: Optional[Dict[str, float]] = None,
+    ):
+        if not scenarios:
+            raise ValueError("a regression suite needs at least one scenario")
+        self.scenarios = dict(scenarios)
+        self.tolerances = dict(DEFAULT_TOLERANCES)
+        if tolerances:
+            self.tolerances.update(tolerances)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_scenario(self, name: str) -> Tuple[ScenarioBaseline, ScenarioResult]:
+        config = self.scenarios[name]
+        result = Scenario(config).run()
+        metrics = {
+            "throughput_tpm": result.throughput_tpm(),
+            "mean_latency": result.mean_latency(),
+            "abort_rate": result.abort_rate(),
+            "protocol_cpu": result.cpu_usage()[1],
+        }
+        certs = result.metrics.certification_latencies()
+        metrics["cert_p99"] = quantiles(certs, (0.99,))[0] if certs else 0.0
+        baseline = ScenarioBaseline(
+            name=name,
+            metrics=metrics,
+            completed=len(result.metrics.records),
+        )
+        return baseline, result
+
+    def record(self, path: Union[str, Path]) -> Dict[str, ScenarioBaseline]:
+        """Run every scenario and write the baseline file."""
+        baselines = {}
+        for name in sorted(self.scenarios):
+            baseline, result = self.run_scenario(name)
+            result.check_safety()
+            baselines[name] = baseline
+        payload = {name: b.to_json() for name, b in baselines.items()}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return baselines
+
+    def check(self, path: Union[str, Path]) -> List[Regression]:
+        """Replay every scenario against the recorded baselines.
+
+        Returns the list of regressions (empty = clean).  Reliability
+        problems — safety violations, incomplete runs, scenarios missing
+        from the baseline file — are reported as ``kind="reliability"``.
+        """
+        stored = {
+            name: ScenarioBaseline.from_json(data)
+            for name, data in json.loads(Path(path).read_text()).items()
+        }
+        findings: List[Regression] = []
+        for name in sorted(self.scenarios):
+            if name not in stored:
+                findings.append(
+                    Regression(name, "baseline", 0.0, 0.0, "reliability")
+                )
+                continue
+            baseline = stored[name]
+            measured, result = self.run_scenario(name)
+            try:
+                result.check_safety()
+            except SafetyViolation:
+                findings.append(
+                    Regression(name, "safety", 1.0, 0.0, "reliability")
+                )
+                continue
+            if measured.completed < baseline.completed * 0.9:
+                findings.append(
+                    Regression(
+                        name,
+                        "completed",
+                        baseline.completed,
+                        measured.completed,
+                        "reliability",
+                    )
+                )
+            findings.extend(self._compare(name, baseline, measured))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _compare(
+        self,
+        name: str,
+        baseline: ScenarioBaseline,
+        measured: ScenarioBaseline,
+    ) -> List[Regression]:
+        findings = []
+        for metric, tolerance in self.tolerances.items():
+            if metric not in baseline.metrics or metric not in measured.metrics:
+                continue
+            base = baseline.metrics[metric]
+            now = measured.metrics[metric]
+            floor = _ABSOLUTE_FLOOR.get(metric, 0.0)
+            if abs(now - base) <= floor:
+                continue
+            if metric in _HIGHER_IS_BETTER:
+                regressed = now < base * (1.0 - tolerance)
+            else:
+                regressed = now > base * (1.0 + tolerance) + floor
+            if regressed:
+                findings.append(
+                    Regression(name, metric, base, now, "performance")
+                )
+        return findings

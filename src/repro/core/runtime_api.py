@@ -1,0 +1,204 @@
+"""The protocol-facing abstraction layer (paper §2.3).
+
+Protocol code — group communication and certification — is written
+against this narrow, single-threaded interface providing job scheduling,
+clock access and a simplified datagram network.  The interface is
+implemented twice, exactly as in the paper:
+
+* :class:`SimulatedProtocolRuntime` — a bridge to the centralized
+  simulation runtime (:class:`repro.core.csrt.SiteRuntime`) and the
+  simulated network, used for all experiments;
+* :class:`NativeProtocolRuntime` — a bridge to the native platform
+  (``threading.Timer`` for scheduling, ``time`` for the clock and
+  ``socket`` datagrams), the analogue of the paper's ``java.util.Timer`` /
+  ``java.lang.System`` / ``java.net.DatagramSocket`` bridge.  It lets the
+  very same protocol classes run on a real network.
+
+Because the protocol stack only ever touches :class:`ProtocolRuntime`,
+moving it between simulation and deployment requires no code changes —
+that portability is the property the paper's methodology depends on.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from .csrt import ScheduledCallback, SiteRuntime
+
+__all__ = [
+    "ProtocolRuntime",
+    "SimulatedProtocolRuntime",
+    "NativeProtocolRuntime",
+]
+
+ReceiveHandler = Callable[[Any, bytes], None]
+
+
+class ProtocolRuntime:
+    """What protocol implementations are allowed to see of the world."""
+
+    def now(self) -> float:
+        """Current time in seconds (simulated or wall-clock)."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any):
+        """Run ``fn(*args)`` after ``delay`` seconds; returns a handle
+        with a ``cancel()`` method."""
+        raise NotImplementedError
+
+    def send(self, dest: Any, payload: bytes) -> None:
+        """Send a datagram to ``dest`` (an address or list of addresses —
+        a list models an IP-multicast group send)."""
+        raise NotImplementedError
+
+    def set_receiver(self, handler: ReceiveHandler) -> None:
+        """Install the handler invoked for each incoming datagram."""
+        raise NotImplementedError
+
+    def local_address(self) -> Any:
+        """This endpoint's own address."""
+        raise NotImplementedError
+
+    def charge(self, seconds: float) -> None:
+        """Declare ``seconds`` of CPU work (no-op outside the simulator)."""
+
+    def rng(self) -> random.Random:
+        """Deterministically seeded randomness for protocol decisions."""
+        raise NotImplementedError
+
+
+class SimulatedProtocolRuntime(ProtocolRuntime):
+    """Bridge to the CSRT and the simulated network stack."""
+
+    def __init__(self, site_runtime: SiteRuntime, address: Any, seed: int = 0):
+        self._rt = site_runtime
+        self._address = address
+        self._rng = random.Random(seed)
+        site_runtime.receiver = self._on_datagram
+        self._handler: Optional[ReceiveHandler] = None
+
+    def now(self) -> float:
+        return self._rt.rt_now()
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> ScheduledCallback:
+        return self._rt.rt_schedule(delay, fn, *args)
+
+    def send(self, dest: Any, payload: bytes) -> None:
+        self._rt.rt_send(dest, payload)
+
+    def set_receiver(self, handler: ReceiveHandler) -> None:
+        self._handler = handler
+
+    def local_address(self) -> Any:
+        return self._address
+
+    def charge(self, seconds: float) -> None:
+        self._rt.rt_charge(seconds)
+
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def _on_datagram(self, source: Any, payload: bytes) -> None:
+        if self._handler is not None:
+            self._handler(source, payload)
+
+
+class NativeProtocolRuntime(ProtocolRuntime):
+    """Bridge to real timers and UDP sockets.
+
+    A single dispatch lock serializes timer callbacks and socket receives,
+    preserving the single-threaded execution model protocol code assumes.
+    Intended for small-scale interoperability demos and the
+    ``examples/native_runtime_demo.py`` walkthrough; experiments use the
+    simulated bridge.
+    """
+
+    _POLL_TIMEOUT = 0.05
+
+    def __init__(self, bind: Tuple[str, int] = ("127.0.0.1", 0), seed: int = 0):
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.bind(bind)
+        self._socket.settimeout(self._POLL_TIMEOUT)
+        self._address = self._socket.getsockname()
+        self._rng = random.Random(seed)
+        self._handler: Optional[ReceiveHandler] = None
+        self._lock = threading.RLock()
+        self._timers: List[threading.Timer] = []
+        self._running = False
+        self._reader: Optional[threading.Thread] = None
+        self._epoch = time.perf_counter()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Start the receive loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def close(self) -> None:
+        self._running = False
+        with self._lock:
+            for timer in self._timers:
+                timer.cancel()
+            self._timers.clear()
+        if self._reader is not None:
+            self._reader.join(timeout=1.0)
+        self._socket.close()
+
+    def __enter__(self) -> "NativeProtocolRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- ProtocolRuntime ------------------------------------------------
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any):
+        def locked_fire() -> None:
+            with self._lock:
+                if self._running:
+                    fn(*args)
+
+        timer = threading.Timer(delay, locked_fire)
+        timer.daemon = True
+        with self._lock:
+            self._timers = [t for t in self._timers if t.is_alive()]
+            self._timers.append(timer)
+        timer.start()
+        return timer  # threading.Timer already has .cancel()
+
+    def send(self, dest: Any, payload: bytes) -> None:
+        targets = dest if isinstance(dest, list) else [dest]
+        for target in targets:
+            self._socket.sendto(payload, tuple(target))
+
+    def set_receiver(self, handler: ReceiveHandler) -> None:
+        self._handler = handler
+
+    def local_address(self) -> Tuple[str, int]:
+        return self._address
+
+    def rng(self) -> random.Random:
+        return self._rng
+
+    # -- internals ------------------------------------------------------
+    def _read_loop(self) -> None:
+        while self._running:
+            try:
+                payload, source = self._socket.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                if self._handler is not None and self._running:
+                    self._handler(source, payload)

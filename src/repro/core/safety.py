@@ -1,0 +1,82 @@
+"""Off-line safety checking (paper §5.3).
+
+After a simulation finishes, all operational sites must have committed
+**exactly the same sequence of transactions**; this is the consistency
+condition the DBSM approach guarantees and the property the fault
+campaigns verify.  Each replica appends every certified-commit decision
+to a :class:`CommitLog`; :func:`check_consistency` compares logs after
+the run, tolerating only a *prefix* relationship for sites that crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["CommitLog", "SafetyViolation", "check_consistency"]
+
+
+@dataclass
+class CommitLog:
+    """The ordered commit decisions taken at one site."""
+
+    site: str
+    #: (global sequence number, transaction id) in decision order.
+    entries: List[Tuple[int, int]] = field(default_factory=list)
+    crashed: bool = False
+
+    def append(self, global_seq: int, tx_id: int) -> None:
+        if self.entries and global_seq <= self.entries[-1][0]:
+            raise SafetyViolation(
+                f"{self.site}: commit sequence not monotonic "
+                f"({global_seq} after {self.entries[-1][0]})"
+            )
+        self.entries.append((global_seq, tx_id))
+
+    def sequence(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self.entries)
+
+
+class SafetyViolation(AssertionError):
+    """Raised when replicas disagree on the committed sequence."""
+
+
+def check_consistency(logs: Sequence[CommitLog]) -> Dict[str, int]:
+    """Verify all operational sites committed the same sequence.
+
+    Crashed sites must have committed a *prefix* of the agreed sequence
+    (they stopped mid-stream, which is fine); operational sites must
+    match exactly.  Returns ``{site: committed_count}`` on success and
+    raises :class:`SafetyViolation` otherwise.
+    """
+    operational = [log for log in logs if not log.crashed]
+    if not operational:
+        return {log.site: len(log.entries) for log in logs}
+
+    reference = operational[0].sequence()
+    for log in operational[1:]:
+        if log.sequence() != reference:
+            raise SafetyViolation(
+                f"{log.site} and {operational[0].site} committed different "
+                f"sequences: {_diff(reference, log.sequence())}"
+            )
+    for log in logs:
+        if not log.crashed:
+            continue
+        seq = log.sequence()
+        if seq != reference[: len(seq)]:
+            raise SafetyViolation(
+                f"crashed site {log.site} is not a prefix of the agreed "
+                f"sequence: {_diff(reference[:len(seq)], seq)}"
+            )
+    return {log.site: len(log.entries) for log in logs}
+
+
+def _diff(
+    a: Tuple[Tuple[int, int], ...], b: Tuple[Tuple[int, int], ...]
+) -> str:
+    """Human-readable first divergence between two commit sequences."""
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            return f"first divergence at index {i}: {ea} vs {eb}"
+    return f"length mismatch: {len(a)} vs {len(b)}"

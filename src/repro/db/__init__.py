@@ -1,0 +1,49 @@
+"""The simulated database server model (paper §3.1).
+
+A server is a scheduler plus resources (CPUs, storage) plus a
+concurrency-control policy; transactions are sequences of fetch /
+process / write-back operations with profiled durations.
+"""
+
+from .lock import GRANTED, PREEMPTED, WW_ABORTED, LockManager
+from .server import DatabaseServer, LocalTermination, TerminationProtocol
+from .storage import Storage
+from .transactions import (
+    Operation,
+    OpKind,
+    Outcome,
+    Transaction,
+    TransactionSpec,
+    TxStatus,
+)
+from .tuples import (
+    covers,
+    is_table_lock,
+    make_tuple_id,
+    row_of,
+    table_lock_id,
+    table_of,
+)
+
+__all__ = [
+    "GRANTED",
+    "PREEMPTED",
+    "WW_ABORTED",
+    "LockManager",
+    "DatabaseServer",
+    "LocalTermination",
+    "TerminationProtocol",
+    "Storage",
+    "Operation",
+    "OpKind",
+    "Outcome",
+    "Transaction",
+    "TransactionSpec",
+    "TxStatus",
+    "covers",
+    "is_table_lock",
+    "make_tuple_id",
+    "row_of",
+    "table_lock_id",
+    "table_of",
+]

@@ -1,0 +1,224 @@
+"""Concurrency control: the PostgreSQL-flavoured multi-version policy.
+
+The locking policy modeled here is the one the paper configures (§3.1):
+
+* fetched items are ignored (readers never block or abort — multiversion);
+* updated items are exclusively locked;
+* all of a transaction's locks are acquired **atomically** and released
+  atomically at commit or abort — possible because every accessed item is
+  known beforehand, and it removes the need for deadlock detection;
+* when a holder **commits**, every transaction waiting on any of its
+  locks aborts (first-updater-wins write-write conflict);
+* when a holder **aborts**, its locks pass to the next eligible waiters;
+* **remotely certified** transactions preempt local holders that have not
+  themselves been certified — those locals would fail certification
+  anyway — but queue (with priority, in certification order) behind
+  holders already applying a certified commit.
+
+Notifications run on fresh simulation events (never re-entrantly inside
+the caller's stack frame), so server processes observe lock grants,
+aborts and preemptions as ordinary asynchronous wake-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.kernel import Entity, Simulator
+from .transactions import Transaction, TxStatus
+
+__all__ = ["LockManager", "LockRequest", "GRANTED", "WW_ABORTED", "PREEMPTED"]
+
+#: Wake-up values delivered to waiting/holding transactions.
+GRANTED = "granted"
+WW_ABORTED = "ww-aborted"  # a conflicting holder committed while we waited
+PREEMPTED = "preempted"  # a remotely certified transaction took our locks
+
+
+class LockRequest:
+    """Book-keeping for one transaction's atomic lock acquisition."""
+
+    __slots__ = ("tx", "items", "on_event", "granted", "remote")
+
+    def __init__(
+        self,
+        tx: Transaction,
+        items: Tuple[int, ...],
+        on_event: Callable[[str], None],
+        remote: bool,
+    ):
+        self.tx = tx
+        self.items = items
+        self.on_event = on_event
+        self.granted = False
+        self.remote = remote
+
+
+class LockManager(Entity):
+    """Exclusive write locks with atomic all-or-wait acquisition."""
+
+    def __init__(self, sim: Simulator, name: str = "locks"):
+        super().__init__(sim, name)
+        self._holders: Dict[int, LockRequest] = {}
+        self._waiting: List[LockRequest] = []
+        self.stats = {
+            "granted_immediate": 0,
+            "granted_after_wait": 0,
+            "ww_aborts": 0,
+            "preemptions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # acquisition
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        tx: Transaction,
+        on_event: Callable[[str], None],
+    ) -> LockRequest:
+        """Atomically acquire ``tx``'s write set.
+
+        ``on_event`` is eventually called exactly once while waiting/held
+        is pending: with ``GRANTED`` when all locks are held, with
+        ``WW_ABORTED`` if a conflicting holder commits first.  After the
+        grant, the same callback may later fire with ``PREEMPTED`` if a
+        remote certified transaction takes the locks away.
+        """
+        request = LockRequest(tx, tuple(tx.spec.write_set), on_event, remote=False)
+        if self._all_free(request.items):
+            self._grant(request, immediate=True)
+        else:
+            self._waiting.append(request)
+        return request
+
+    def acquire_remote(
+        self,
+        tx: Transaction,
+        on_event: Callable[[str], None],
+    ) -> LockRequest:
+        """Acquire locks for a certified remote transaction.
+
+        Local holders that are not yet certified are preempted and told
+        to abort right away (they would abort in certification anyway,
+        §3.1); holders already applying a certified commit are waited on.
+        Remote requests queue ahead of local ones, in arrival order —
+        which is certification order, keeping application deterministic.
+        """
+        request = LockRequest(tx, tuple(tx.spec.write_set), on_event, remote=True)
+        self._preempt_conflicting_locals(request.items)
+        if self._all_free(request.items):
+            self._grant(request, immediate=True)
+        else:
+            insert_at = sum(1 for r in self._waiting if r.remote)
+            self._waiting.insert(insert_at, request)
+        return request
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def release_commit(self, request: LockRequest) -> None:
+        """Release on commit: conflicting waiters abort (write-write)."""
+        if not request.granted:
+            self._remove_waiter(request)
+            return
+        released = self._release_items(request)
+        victims = [
+            waiter
+            for waiter in self._waiting
+            if not waiter.remote and any(item in released for item in waiter.items)
+        ]
+        for victim in victims:
+            self._waiting.remove(victim)
+            self.stats["ww_aborts"] += 1
+            self._notify(victim, WW_ABORTED)
+        self._regrant()
+
+    def release_abort(self, request: LockRequest) -> None:
+        """Release on abort: locks pass to the next eligible waiters."""
+        if not request.granted:
+            self._remove_waiter(request)
+            return
+        self._release_items(request)
+        self._regrant()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def holder_of(self, item: int) -> Optional[Transaction]:
+        request = self._holders.get(item)
+        return request.tx if request else None
+
+    def waiting_count(self) -> int:
+        return len(self._waiting)
+
+    def held_count(self) -> int:
+        return len(self._holders)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _all_free(self, items: Tuple[int, ...]) -> bool:
+        return all(item not in self._holders for item in items)
+
+    def _grant(self, request: LockRequest, immediate: bool) -> None:
+        for item in request.items:
+            assert item not in self._holders, f"double grant on {item}"
+            self._holders[item] = request
+        request.granted = True
+        key = "granted_immediate" if immediate else "granted_after_wait"
+        self.stats[key] += 1
+        self._notify(request, GRANTED)
+
+    def _release_items(self, request: LockRequest) -> Tuple[int, ...]:
+        released = []
+        for item in request.items:
+            if self._holders.get(item) is request:
+                del self._holders[item]
+                released.append(item)
+        request.granted = False
+        return tuple(released)
+
+    def _remove_waiter(self, request: LockRequest) -> None:
+        if request in self._waiting:
+            self._waiting.remove(request)
+
+    def _regrant(self) -> None:
+        """Grant queued requests whose whole item set became free, in
+        queue order (remote requests sit at the head)."""
+        progress = True
+        while progress:
+            progress = False
+            for waiter in list(self._waiting):
+                if self._all_free(waiter.items):
+                    self._waiting.remove(waiter)
+                    self._grant(waiter, immediate=False)
+                    progress = True
+                    break
+
+    def _preempt_conflicting_locals(self, items: Tuple[int, ...]) -> None:
+        victims: List[LockRequest] = []
+        for item in items:
+            holder = self._holders.get(item)
+            if holder is None or holder in victims:
+                continue
+            if holder.remote or holder.tx.status is TxStatus.APPLYING:
+                continue  # certified work is awaited, never preempted
+            victims.append(holder)
+        for victim in victims:
+            self._release_items(victim)
+            self.stats["preemptions"] += 1
+            self._notify(victim, PREEMPTED)
+        # Local waiters on these items are also doomed: the remote write
+        # will commit, which is exactly the first-updater-wins conflict.
+        doomed = [
+            waiter
+            for waiter in self._waiting
+            if not waiter.remote and any(item in items for item in waiter.items)
+        ]
+        for waiter in doomed:
+            self._waiting.remove(waiter)
+            self.stats["ww_aborts"] += 1
+            self._notify(waiter, WW_ABORTED)
+
+    def _notify(self, request: LockRequest, event: str) -> None:
+        self.schedule(0.0, request.on_event, event)

@@ -1,0 +1,310 @@
+"""The simulated database server (paper §3.1).
+
+A server is a scheduler over a collection of resources — CPUs, storage —
+plus a concurrency-control policy.  Transactions are driven as generator
+processes: each operation (fetch / process / write-back) is scheduled on
+the corresponding resource, the profiled processing times having been
+obtained from a real engine.  When a commit operation is reached the
+transaction enters the distributed termination protocol; certification is
+real code running under the centralized runtime, so the server only sees
+an asynchronous outcome.
+
+Remotely initiated (certified) transactions are applied through
+:meth:`DatabaseServer.apply_remote`: locks are acquired before writing to
+disk, preempting local transactions that hold them — those would abort in
+certification anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.cpu import CpuPool, Job, SIM_JOB
+from ..core.kernel import Entity, Signal, Simulator
+from ..core.metrics import MetricsCollector, TxRecord
+from .lock import GRANTED, PREEMPTED, WW_ABORTED, LockManager, LockRequest
+from .storage import Storage
+from .transactions import (
+    OpKind,
+    Outcome,
+    Transaction,
+    TransactionSpec,
+    TxStatus,
+)
+
+__all__ = ["DatabaseServer", "TerminationProtocol", "LocalTermination"]
+
+
+class TerminationProtocol:
+    """What the server needs from the distributed termination procedure.
+
+    The replicated implementation (:class:`repro.dbsm.replica.Replica`)
+    multicasts the transaction's data and certifies on delivery; the
+    centralized stand-in below commits immediately.  Either way the
+    server receives a latched signal fired with an :class:`Outcome`.
+    """
+
+    def submit(self, tx: Transaction) -> Signal:
+        """Start termination for ``tx``; the signal fires with Outcome."""
+        raise NotImplementedError
+
+    def applied_watermark(self) -> int:
+        """Highest global sequence number g such that every committed
+        transaction with sequence <= g has been fully applied locally.
+        New transactions snapshot this as their ``start_seq``."""
+        raise NotImplementedError
+
+
+class LocalTermination(TerminationProtocol):
+    """Centralized termination: no replication, every update commits.
+
+    Used for the 1/3/6-CPU single-site baselines of §5.1, where there is
+    no certification and no group communication.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._next_seq = 0
+        self._watermark_tracker = _WatermarkTracker()
+
+    def submit(self, tx: Transaction) -> Signal:
+        signal = Signal(self.sim, latch=True)
+        self._next_seq += 1
+        tx.global_seq = self._next_seq
+        self.sim.schedule(0.0, signal.fire, Outcome.COMMIT)
+        return signal
+
+    def applied_watermark(self) -> int:
+        return self._watermark_tracker.watermark
+
+    def mark_applied(self, global_seq: int) -> None:
+        self._watermark_tracker.mark(global_seq)
+
+
+class _WatermarkTracker:
+    """Advances a contiguous high-watermark over out-of-order completions."""
+
+    def __init__(self) -> None:
+        self.watermark = 0
+        self._pending: set = set()
+
+    def mark(self, seq: int) -> None:
+        self._pending.add(seq)
+        while self.watermark + 1 in self._pending:
+            self._pending.discard(self.watermark + 1)
+            self.watermark += 1
+
+
+class DatabaseServer(Entity):
+    """One database site: CPUs + storage + locks + transaction driver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpus: CpuPool,
+        storage: Storage,
+        locks: Optional[LockManager] = None,
+        termination: Optional[TerminationProtocol] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        super().__init__(sim, name)
+        self.cpus = cpus
+        self.storage = storage
+        self.locks = locks or LockManager(sim, f"{name}.locks")
+        self.termination = termination or LocalTermination(sim)
+        self.metrics = metrics or MetricsCollector()
+        self.stats = {
+            "local_committed": 0,
+            "local_aborted": 0,
+            "remote_applied": 0,
+        }
+        #: Invoked with (tx, global_seq) whenever a certified transaction
+        #: (local or remote) finishes applying — the replica uses this to
+        #: advance the applied watermark and the commit log.
+        self.on_applied: Optional[Callable[[Transaction, int], None]] = None
+        if isinstance(self.termination, LocalTermination):
+            local = self.termination
+            self.on_applied = lambda tx, seq: local.mark_applied(seq)
+
+    # ------------------------------------------------------------------
+    # local transactions (issued by clients attached to this site)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: TransactionSpec,
+        on_done: Optional[Callable[[Transaction], None]] = None,
+    ) -> Transaction:
+        """Start executing ``spec`` on behalf of a local client.
+
+        ``on_done`` is called once, with the finished transaction, after
+        commit or abort — the client model uses it to unblock."""
+        tx = Transaction(spec, self.name)
+        self.sim.process(self._run_local(tx, on_done), name=f"tx{tx.tx_id}")
+        return tx
+
+    def _run_local(self, tx: Transaction, on_done):
+        spec = tx.spec
+        tx.submit_time = self.now
+        tx.status = TxStatus.EXECUTING
+        tx.start_seq = self.termination.applied_watermark()
+
+        preempted = {"flag": False}
+        request: Optional[LockRequest] = None
+
+        # -- atomic lock acquisition over the (pre-known) write set -----
+        if spec.write_set:
+            acquire_signal = Signal(self.sim, latch=True)
+
+            def on_lock_event(event: str) -> None:
+                if not acquire_signal.fired:
+                    acquire_signal.fire(event)
+                elif event == PREEMPTED:
+                    preempted["flag"] = True
+
+            request = self.locks.acquire(tx, on_lock_event)
+            event = yield acquire_signal
+            if event == WW_ABORTED:
+                self._finish_abort(tx, request, "ww-conflict", on_done)
+                return
+            assert event == GRANTED
+
+        # -- execute the operation sequence ------------------------------
+        for op in spec.operations:
+            if preempted["flag"]:
+                self._finish_abort(tx, request, "preempted", on_done)
+                return
+            if op.kind is OpKind.FETCH:
+                yield self.storage.read(op.nbytes)
+            elif op.kind is OpKind.PROCESS:
+                yield self._cpu_job(op.cpu_time, spec.tx_class)
+            else:  # WRITE: private version, applied at commit
+                continue
+        if preempted["flag"]:
+            self._finish_abort(tx, request, "preempted", on_done)
+            return
+        if spec.intrinsic_abort:
+            # The application rolls back at the end of execution (e.g.
+            # TPC-C's invalid-item neworders); no certification happens.
+            self._finish_abort(tx, request, "intrinsic", on_done)
+            return
+
+        # -- distributed termination -------------------------------------
+        if spec.readonly:
+            # Read-only transactions commit locally: commit costs CPU but
+            # no I/O and no certification (§4.1, §5.1).
+            yield self._cpu_job(spec.commit_cpu, "commit")
+            tx.status = TxStatus.COMMITTED
+            tx.end_time = self.now
+            self._record(tx, "commit", on_done)
+            return
+
+        tx.status = TxStatus.COMMITTING
+        tx.certify_submit_time = self.now
+        outcome_signal = self.termination.submit(tx)
+        outcome = yield outcome_signal
+        tx.certify_end_time = self.now
+
+        if outcome is not Outcome.COMMIT:
+            reason = "preempted" if preempted["flag"] else "certification"
+            self._finish_abort(tx, request, reason, on_done)
+            return
+        assert not preempted["flag"], (
+            "a preempted transaction certified COMMIT — write sets must "
+            "be covered by read sets for conflicting classes"
+        )
+
+        # -- apply: finish writing, then release locks (§3.1) -------------
+        tx.status = TxStatus.APPLYING
+        if spec.commit_sectors > 0:
+            yield self.storage.write_sectors(spec.commit_sectors)
+        yield self._cpu_job(spec.commit_cpu, "commit")
+        if request is not None:
+            self.locks.release_commit(request)
+        tx.status = TxStatus.COMMITTED
+        tx.end_time = self.now
+        self.stats["local_committed"] += 1
+        if self.on_applied is not None:
+            self.on_applied(tx, tx.global_seq)
+        self._record(tx, "commit", on_done)
+
+    # ------------------------------------------------------------------
+    # remote transactions (already certified elsewhere in total order)
+    # ------------------------------------------------------------------
+    def apply_remote(self, tx: Transaction) -> Signal:
+        """Apply a certified remote transaction; returns a completion
+        signal.  Must be called in certification order."""
+        done = Signal(self.sim, latch=True)
+        self.sim.process(self._run_remote(tx, done), name=f"remote{tx.tx_id}")
+        return done
+
+    def _run_remote(self, tx: Transaction, done: Signal):
+        spec = tx.spec
+        tx.status = TxStatus.APPLYING
+        if spec.write_set:
+            granted = Signal(self.sim, latch=True)
+            request = self.locks.acquire_remote(tx, granted.fire)
+            event = yield granted
+            assert event == GRANTED
+        else:
+            request = None
+        if spec.commit_sectors > 0:
+            yield self.storage.write_sectors(spec.commit_sectors)
+        yield self._cpu_job(spec.commit_cpu, "remote-commit")
+        if request is not None:
+            self.locks.release_commit(request)
+        tx.status = TxStatus.COMMITTED
+        tx.end_time = self.now
+        self.stats["remote_applied"] += 1
+        if self.on_applied is not None:
+            self.on_applied(tx, tx.global_seq)
+        done.fire(None)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cpu_job(self, duration: float, tag: str) -> Signal:
+        signal = Signal(self.sim, latch=True)
+        if duration <= 0:
+            self.schedule(0.0, signal.fire, None)
+            return signal
+        job = Job(
+            SIM_JOB,
+            duration=duration,
+            on_complete=lambda: signal.fire(None),
+            tag=tag,
+        )
+        self.cpus.submit(job)
+        return signal
+
+    def _finish_abort(
+        self,
+        tx: Transaction,
+        request: Optional[LockRequest],
+        reason: str,
+        on_done,
+    ) -> None:
+        if request is not None:
+            self.locks.release_abort(request)
+        tx.status = TxStatus.ABORTED
+        tx.abort_reason = reason
+        tx.end_time = self.now
+        self.stats["local_aborted"] += 1
+        self._record(tx, "abort", on_done)
+
+    def _record(self, tx: Transaction, outcome: str, on_done) -> None:
+        self.metrics.record(
+            TxRecord(
+                tx_id=tx.tx_id,
+                tx_class=tx.spec.tx_class,
+                site=self.name,
+                submit_time=tx.submit_time,
+                end_time=tx.end_time,
+                outcome=outcome,
+                readonly=tx.spec.readonly,
+                certification_latency=tx.certification_latency,
+                abort_reason=tx.abort_reason,
+            )
+        )
+        if on_done is not None:
+            on_done(tx)

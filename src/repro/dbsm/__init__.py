@@ -1,0 +1,20 @@
+"""The Database State Machine replication layer (paper §3.3).
+
+Certification-based replication: transactions execute locally under the
+site's own concurrency control, then their read/write sets are atomically
+multicast and certified deterministically at every replica.
+"""
+
+from .certification import Certifier, CertificationError, sets_conflict
+from .marshal import CommitRequest, marshal_request, unmarshal_request
+from .replica import Replica
+
+__all__ = [
+    "Certifier",
+    "CertificationError",
+    "sets_conflict",
+    "CommitRequest",
+    "marshal_request",
+    "unmarshal_request",
+    "Replica",
+]

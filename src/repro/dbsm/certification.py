@@ -1,0 +1,121 @@
+"""The deterministic certification procedure (paper §3.3).
+
+Upon total-order delivery of a committing transaction, every replica
+runs the same test: the sequence number of the last transaction the
+origin had committed locally determines which committed transactions
+were *concurrent*; the incoming read-set is compared with the write-sets
+of all those transactions, and any intersection aborts it.  Total order
+makes the decision identical at every replica — no coordination needed.
+
+Identifier comparison covers both individual tuples and whole-table
+locks: the table id lives in the high-order bits, so a table lock (row
+part zero) sorts before all of its table's tuples and a single merge
+traversal of the two **sorted** lists decides intersection in
+O(|reads| + |writes|) — the runtime trick the paper calls out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..db.tuples import is_table_lock, table_of
+from .marshal import CommitRequest
+
+__all__ = ["Certifier", "CertificationError", "sets_conflict"]
+
+#: CPU cost charged per identifier visited during the merge traversal —
+#: the sorted lists make this a couple of comparisons per id, tens of
+#: cycles on the reference 1 GHz CPU.  Calibrated so protocol CPU usage
+#: lands near the paper's Figure 7(c) values (~1.2 % at 3 sites).
+PER_ITEM_COST = 0.12e-6
+
+
+class CertificationError(RuntimeError):
+    """The committed-write-set log was pruned past a request's horizon."""
+
+
+def sets_conflict(reads: Tuple[int, ...], writes: Tuple[int, ...]) -> bool:
+    """Single-traversal intersection test over two sorted id lists,
+    honouring table-lock coverage in either list."""
+    i = j = 0
+    len_r, len_w = len(reads), len(writes)
+    while i < len_r and j < len_w:
+        r, w = reads[i], writes[j]
+        if r == w:
+            return True
+        if is_table_lock(r) and table_of(r) == table_of(w):
+            return True
+        if is_table_lock(w) and table_of(w) == table_of(r):
+            return True
+        if r < w:
+            i += 1
+        else:
+            j += 1
+    return False
+
+
+class Certifier:
+    """Per-replica certification state: the committed write-set log."""
+
+    def __init__(
+        self,
+        charge: Optional[Callable[[float], None]] = None,
+        log_limit: int = 50_000,
+    ):
+        #: (commit_seq, write_set) of committed update transactions, in
+        #: commit order; pruned to the trailing ``log_limit`` entries.
+        self._log: Deque[Tuple[int, Tuple[int, ...]]] = deque()
+        self._charge = charge or (lambda seconds: None)
+        self.log_limit = log_limit
+        self.next_commit_seq = 0
+        self.stats = {"certified": 0, "committed": 0, "aborted": 0}
+
+    # ------------------------------------------------------------------
+    def certify(self, request: CommitRequest) -> Tuple[bool, int]:
+        """Decide ``request``; returns (committed, commit_seq or -1).
+
+        Must be invoked in total-order delivery order; the commit
+        sequence numbers handed out are consecutive over commits.
+        """
+        self.stats["certified"] += 1
+        if self._log and request.start_seq < self._log[0][0] - 1:
+            raise CertificationError(
+                f"request started at seq {request.start_seq} but the log "
+                f"begins at {self._log[0][0]} — raise log_limit"
+            )
+        if self._conflicts(request):
+            self.stats["aborted"] += 1
+            return False, -1
+        self.next_commit_seq += 1
+        commit_seq = self.next_commit_seq
+        if request.write_set:
+            self._log.append((commit_seq, request.write_set))
+            while len(self._log) > self.log_limit:
+                self._log.popleft()
+        self.stats["committed"] += 1
+        return True, commit_seq
+
+    def _conflicts(self, request: CommitRequest) -> bool:
+        if not request.read_set:
+            return False
+        visited = 0
+        conflict = False
+        for commit_seq, write_set in reversed(self._log):
+            if commit_seq <= request.start_seq:
+                break
+            visited += len(write_set) + len(request.read_set)
+            if sets_conflict(request.read_set, write_set):
+                conflict = True
+                break
+        self._charge(visited * PER_ITEM_COST)
+        return conflict
+
+    # ------------------------------------------------------------------
+    def log_size(self) -> int:
+        return len(self._log)
+
+    def abort_ratio(self) -> float:
+        if self.stats["certified"] == 0:
+            return 0.0
+        return self.stats["aborted"] / self.stats["certified"]

@@ -1,0 +1,31 @@
+"""Group communication prototype: reliable multicast, total order, views.
+
+The atomic multicast protocol of paper §3.4 in two layers — a
+view-synchronous reliable multicast (window-based receiver-initiated
+retransmission, gossip stability detection, rate+share flow control) and
+a fixed-sequencer total order — plus failure detection and view change.
+"""
+
+from .config import GcsConfig
+from .flowcontrol import TokenBucket
+from .messages import marshal, unmarshal
+from .reliable import ReliableMulticast
+from .sequencer import TotalOrder
+from .stability import StabilityState
+from .stack import GroupCommunication
+from .views import ViewManager
+from .window import BufferPool, ReceiveWindow
+
+__all__ = [
+    "GcsConfig",
+    "TokenBucket",
+    "marshal",
+    "unmarshal",
+    "ReliableMulticast",
+    "TotalOrder",
+    "StabilityState",
+    "GroupCommunication",
+    "ViewManager",
+    "BufferPool",
+    "ReceiveWindow",
+]

@@ -1,0 +1,58 @@
+"""Tunables of the group communication prototype.
+
+Defaults are calibrated for the paper's LAN scenarios (§4.1, §5): a
+100 Mbit/s switched Ethernet, packets restricted to a safe size below
+the Ethernet MTU (§4.2), NACK timers in the tens of milliseconds, and a
+stability-gossip period long enough that its traffic is negligible in
+steady state yet short enough to keep buffers small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GcsConfig"]
+
+
+@dataclass
+class GcsConfig:
+    """Knobs for the reliable/total-order/membership stack."""
+
+    #: Per-origin share of the unstable-message buffer pool (§5.3).  When
+    #: a sender's share is exhausted its new multicasts wait for garbage
+    #: collection — increasing this mitigates sequencer blocking.
+    buffer_share: int = 64
+    #: Receiver-initiated retransmission timer (seconds): how long a gap
+    #: may stand before a NACK is sent to the origin.
+    nack_timeout: float = 0.080
+    #: Retransmission request ceiling per NACK message.
+    nack_batch: int = 32
+    #: Stability gossip period (seconds).
+    stability_interval: float = 0.120
+    #: CPU charged for processing one NACK (buffer lookups, resend path)
+    #: plus per requested message.  Calibrated so protocol CPU under 5 %
+    #: random loss lands near the paper's Figure 7(c) (~1.5x fault-free).
+    nack_processing_cost: float = 250e-6
+    nack_per_message_cost: float = 60e-6
+    #: CPU charged on receiving a retransmitted message (out-of-order
+    #: reordering path of the prototype).
+    retransmit_processing_cost: float = 150e-6
+    #: Rate-based flow control: initial transmissions per second.
+    send_rate: float = 4000.0
+    #: Token-bucket burst allowance (messages).
+    send_burst: int = 64
+    #: Sequencer batching window (seconds): assignments accumulated for
+    #: this long ship in one SEQUENCE message.
+    sequence_batch_interval: float = 0.002
+    #: Failure-detector heartbeat period (seconds).
+    heartbeat_interval: float = 0.200
+    #: Silence threshold before a member is suspected (seconds).  Keep
+    #: well above any injected scheduling latency or drift to avoid
+    #: false suspicions (DESIGN.md §7).
+    suspect_after: float = 2.0
+    #: View-change message retransmission period (seconds).
+    view_retransmit: float = 0.100
+    #: Largest DATA payload shipped in one packet; larger application
+    #: messages are fragmented by the session layer.  The prototype uses
+    #: a safe value below the Ethernet MTU (§4.2).
+    max_packet: int = 1400

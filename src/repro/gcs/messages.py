@@ -1,0 +1,294 @@
+"""Wire formats of the group communication prototype.
+
+All protocol messages marshal to compact binary buffers (``struct``
+little-endian framing).  The marshaling deliberately mirrors the paper's
+prototype conventions: 64-bit identifiers, explicit counts, and payload
+padding so that simulated traffic volume matches a real deployment
+(§3.3).  Marshaling cost is charged to the simulated CPU through the
+runtime's per-byte send/receive overheads.
+
+Message taxonomy:
+
+========== =====================================================
+``DATA``       application payload with per-sender FIFO sequence
+``NACK``       receiver-initiated retransmission request
+``SEQUENCE``   total-order assignments from the fixed sequencer
+``STABILITY``  gossip round state (S, W, M) for garbage collection
+``HEARTBEAT``  failure-detector liveness beacon
+``PROPOSE``    view-change proposal from the coordinator
+``FLUSH_ACK``  member state summary answering a proposal
+``DECIDE``     view-change decision installing the new view
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "DATA",
+    "NACK",
+    "SEQUENCE",
+    "STABILITY",
+    "HEARTBEAT",
+    "PROPOSE",
+    "FLUSH_ACK",
+    "DECIDE",
+    "DataMsg",
+    "NackMsg",
+    "SequenceMsg",
+    "StabilityMsg",
+    "HeartbeatMsg",
+    "ProposeMsg",
+    "FlushAckMsg",
+    "DecideMsg",
+    "marshal",
+    "unmarshal",
+    "MarshalError",
+]
+
+DATA = 1
+NACK = 2
+SEQUENCE = 3
+STABILITY = 4
+HEARTBEAT = 5
+PROPOSE = 6
+FLUSH_ACK = 7
+DECIDE = 8
+
+_HEADER = struct.Struct("<BHI")  # type, sender, view_id
+
+
+class MarshalError(ValueError):
+    """Raised on malformed or truncated buffers."""
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    sender: int
+    view_id: int
+    seq: int
+    payload: bytes
+    #: True when this transmission is a retransmission (for stats only).
+    retransmit: bool = False
+
+    msg_type = DATA
+
+
+@dataclass(frozen=True)
+class NackMsg:
+    sender: int  # who is asking
+    view_id: int
+    origin: int  # whose messages are missing
+    missing: Tuple[int, ...]  # sequence numbers requested
+
+    msg_type = NACK
+
+
+@dataclass(frozen=True)
+class SequenceMsg:
+    sender: int  # the sequencer
+    view_id: int
+    #: (global_seq, origin, origin_seq) triples, consecutive globals.
+    assignments: Tuple[Tuple[int, int, int], ...]
+
+    msg_type = SEQUENCE
+
+
+@dataclass(frozen=True)
+class StabilityMsg:
+    sender: int
+    view_id: int
+    round_id: int
+    stable: Tuple[int, ...]  # S vector, indexed by member slot
+    voted: Tuple[int, ...]  # W set (member ids)
+    mins: Tuple[int, ...]  # M vector, indexed by member slot
+
+    msg_type = STABILITY
+
+
+@dataclass(frozen=True)
+class HeartbeatMsg:
+    sender: int
+    view_id: int
+
+    msg_type = HEARTBEAT
+
+
+@dataclass(frozen=True)
+class ProposeMsg:
+    sender: int  # coordinator
+    view_id: int  # the *proposed* view id
+    members: Tuple[int, ...]
+
+    msg_type = PROPOSE
+
+
+@dataclass(frozen=True)
+class FlushAckMsg:
+    sender: int
+    view_id: int  # the proposed view being acknowledged
+    #: Per-origin highest contiguous sequence received.
+    contiguous: Tuple[Tuple[int, int], ...]
+    #: Total-order assignments this member knows: (global, origin, seq).
+    assignments: Tuple[Tuple[int, int, int], ...]
+
+    msg_type = FLUSH_ACK
+
+
+@dataclass(frozen=True)
+class DecideMsg:
+    sender: int  # coordinator
+    view_id: int  # the decided view id
+    members: Tuple[int, ...]
+    #: Per-origin target contiguous sequence everyone must reach.
+    targets: Tuple[Tuple[int, int], ...]
+    #: Union of known assignments (authoritative for the new view).
+    assignments: Tuple[Tuple[int, int, int], ...]
+
+    msg_type = DECIDE
+
+
+# ----------------------------------------------------------------------
+# marshal
+# ----------------------------------------------------------------------
+def marshal(msg) -> bytes:
+    """Encode a protocol message into its wire representation."""
+    head = _HEADER.pack(msg.msg_type, msg.sender, msg.view_id)
+    if msg.msg_type == DATA:
+        body = struct.pack("<Q?I", msg.seq, msg.retransmit, len(msg.payload))
+        return head + body + msg.payload
+    if msg.msg_type == NACK:
+        body = struct.pack("<HI", msg.origin, len(msg.missing))
+        body += struct.pack(f"<{len(msg.missing)}Q", *msg.missing)
+        return head + body
+    if msg.msg_type == SEQUENCE:
+        return head + _pack_triples(msg.assignments)
+    if msg.msg_type == STABILITY:
+        body = struct.pack("<I", msg.round_id)
+        body += _pack_u64s(msg.stable)
+        body += struct.pack("<I", len(msg.voted))
+        body += struct.pack(f"<{len(msg.voted)}H", *msg.voted)
+        body += _pack_u64s(msg.mins)
+        return head + body
+    if msg.msg_type == HEARTBEAT:
+        return head
+    if msg.msg_type == PROPOSE:
+        body = struct.pack("<I", len(msg.members))
+        body += struct.pack(f"<{len(msg.members)}H", *msg.members)
+        return head + body
+    if msg.msg_type == FLUSH_ACK:
+        return head + _pack_pairs(msg.contiguous) + _pack_triples(msg.assignments)
+    if msg.msg_type == DECIDE:
+        body = struct.pack("<I", len(msg.members))
+        body += struct.pack(f"<{len(msg.members)}H", *msg.members)
+        return head + body + _pack_pairs(msg.targets) + _pack_triples(msg.assignments)
+    raise MarshalError(f"unknown message type {msg.msg_type}")
+
+
+def unmarshal(buffer: bytes):
+    """Decode a wire buffer back into its message object."""
+    if len(buffer) < _HEADER.size:
+        raise MarshalError("buffer shorter than header")
+    msg_type, sender, view_id = _HEADER.unpack_from(buffer)
+    view = memoryview(buffer)[_HEADER.size:]
+    try:
+        if msg_type == DATA:
+            seq, retransmit, length = struct.unpack_from("<Q?I", view)
+            offset = struct.calcsize("<Q?I")
+            payload = bytes(view[offset : offset + length])
+            if len(payload) != length:
+                raise MarshalError("truncated DATA payload")
+            return DataMsg(sender, view_id, seq, payload, retransmit)
+        if msg_type == NACK:
+            origin, count = struct.unpack_from("<HI", view)
+            offset = struct.calcsize("<HI")
+            missing = struct.unpack_from(f"<{count}Q", view, offset)
+            return NackMsg(sender, view_id, origin, tuple(missing))
+        if msg_type == SEQUENCE:
+            return SequenceMsg(sender, view_id, _unpack_triples(view)[0])
+        if msg_type == STABILITY:
+            (round_id,) = struct.unpack_from("<I", view)
+            offset = 4
+            stable, offset = _unpack_u64s(view, offset)
+            (w_count,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            voted = struct.unpack_from(f"<{w_count}H", view, offset)
+            offset += 2 * w_count
+            mins, offset = _unpack_u64s(view, offset)
+            return StabilityMsg(sender, view_id, round_id, stable, tuple(voted), mins)
+        if msg_type == HEARTBEAT:
+            return HeartbeatMsg(sender, view_id)
+        if msg_type == PROPOSE:
+            (count,) = struct.unpack_from("<I", view)
+            members = struct.unpack_from(f"<{count}H", view, 4)
+            return ProposeMsg(sender, view_id, tuple(members))
+        if msg_type == FLUSH_ACK:
+            contiguous, offset = _unpack_pairs(view, 0)
+            assignments, _ = _unpack_triples(view, offset)
+            return FlushAckMsg(sender, view_id, contiguous, assignments)
+        if msg_type == DECIDE:
+            (count,) = struct.unpack_from("<I", view)
+            offset = 4
+            members = struct.unpack_from(f"<{count}H", view, offset)
+            offset += 2 * count
+            targets, offset = _unpack_pairs(view, offset)
+            assignments, _ = _unpack_triples(view, offset)
+            return DecideMsg(
+                sender, view_id, tuple(members), targets, assignments
+            )
+    except struct.error as exc:
+        raise MarshalError(f"truncated message of type {msg_type}: {exc}") from exc
+    raise MarshalError(f"unknown message type {msg_type}")
+
+
+# ----------------------------------------------------------------------
+# encoding helpers
+# ----------------------------------------------------------------------
+def _pack_u64s(values: Tuple[int, ...]) -> bytes:
+    return struct.pack("<I", len(values)) + struct.pack(f"<{len(values)}Q", *values)
+
+
+def _unpack_u64s(view, offset: int) -> Tuple[Tuple[int, ...], int]:
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    values = struct.unpack_from(f"<{count}Q", view, offset)
+    return tuple(values), offset + 8 * count
+
+
+def _pack_pairs(pairs: Tuple[Tuple[int, int], ...]) -> bytes:
+    out = struct.pack("<I", len(pairs))
+    for a, b in pairs:
+        out += struct.pack("<HQ", a, b)
+    return out
+
+
+def _unpack_pairs(view, offset: int) -> Tuple[Tuple[Tuple[int, int], ...], int]:
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    pairs = []
+    for _ in range(count):
+        a, b = struct.unpack_from("<HQ", view, offset)
+        offset += struct.calcsize("<HQ")
+        pairs.append((a, b))
+    return tuple(pairs), offset
+
+
+def _pack_triples(triples: Tuple[Tuple[int, int, int], ...]) -> bytes:
+    out = struct.pack("<I", len(triples))
+    for g, origin, seq in triples:
+        out += struct.pack("<QHQ", g, origin, seq)
+    return out
+
+
+def _unpack_triples(view, offset: int = 0):
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    triples = []
+    for _ in range(count):
+        g, origin, seq = struct.unpack_from("<QHQ", view, offset)
+        offset += struct.calcsize("<QHQ")
+        triples.append((g, origin, seq))
+    return tuple(triples), offset

@@ -1,0 +1,295 @@
+"""View-synchronous reliable multicast (paper §3.4, bottom layer).
+
+Message flow follows the paper's two-phase design:
+
+1. **dissemination** — messages go out over IP multicast on LANs,
+   falling back to unicast fan-out when the destination set spans
+   segments; initial transmissions are paced by the rate-based flow
+   control;
+2. **reliability** — a window-based, receiver-initiated mechanism:
+   receivers detect sequence gaps and NACK the origin (or any live
+   member once the origin is suspected); every member buffers every
+   message until the gossip-based stability detector declares it
+   received by all, so anyone can serve a retransmission.
+
+Fairness gives each origin a fixed share of the buffer pool; a sender
+whose share is full must wait for garbage collection before transmitting
+new messages — this queue is observable via :attr:`ReliableMulticast.blocked_sends`
+and is the bottleneck the paper exposes under random loss (§5.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.runtime_api import ProtocolRuntime
+from .config import GcsConfig
+from .flowcontrol import TokenBucket
+from .messages import DataMsg, NackMsg, marshal
+from .window import BufferPool, ReceiveWindow
+
+__all__ = ["ReliableMulticast"]
+
+FifoDeliver = Callable[[int, int, bytes], None]
+
+
+class ReliableMulticast:
+    """One member's reliable-multicast endpoint.
+
+    The stack above registers ``on_fifo_deliver(origin, seq, payload)``;
+    deliveries are per-origin FIFO with no cross-origin ordering (total
+    order is the next layer up).  Incoming wire messages are dispatched
+    to :meth:`handle_data` / :meth:`handle_nack` by the stack.
+    """
+
+    def __init__(
+        self,
+        runtime: ProtocolRuntime,
+        member_id: int,
+        members: Dict[int, object],
+        group_dest: object,
+        config: Optional[GcsConfig] = None,
+    ):
+        self.runtime = runtime
+        self.member_id = member_id
+        self.members = dict(members)
+        self.group_dest = group_dest
+        self.config = config or GcsConfig()
+        self.pool = BufferPool(share=self.config.buffer_share)
+        self.bucket = TokenBucket(self.config.send_rate, self.config.send_burst)
+        self.windows: Dict[int, ReceiveWindow] = {
+            m: ReceiveWindow() for m in self.members
+        }
+        self.on_fifo_deliver: Optional[FifoDeliver] = None
+        #: Origins currently considered crashed: NACKs for their messages
+        #: are redirected to live members.
+        self.suspected: set = set()
+        self._next_seq = 0
+        self._delivered_up_to: Dict[int, int] = {m: 0 for m in self.members}
+        self._blocked: Deque[bytes] = deque()
+        self._frozen = False
+        self._nack_timers: Dict[int, object] = {}
+        self.stats = {
+            "sent": 0,
+            "retransmits_served": 0,
+            "nacks_sent": 0,
+            "duplicates": 0,
+            "blocked_events": 0,
+            "blocked_time": 0.0,
+        }
+        self._blocked_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: bytes) -> None:
+        """Reliably multicast ``payload`` to the group (including self).
+
+        If the member's buffer share is exhausted or a view change is in
+        progress the message is queued and sent when space/thaw arrives.
+        """
+        if self._frozen or self._blocked or not self.pool.has_room(self.member_id):
+            if self._blocked_since is None:
+                self._blocked_since = self.runtime.now()
+                self.stats["blocked_events"] += 1
+            self._blocked.append(payload)
+            return
+        self._transmit(payload)
+
+    @property
+    def blocked_sends(self) -> int:
+        return len(self._blocked)
+
+    def _transmit(self, payload: bytes) -> None:
+        self._next_seq += 1
+        seq = self._next_seq
+        message = DataMsg(self.member_id, 0, seq, payload)
+        self.pool.store(self.member_id, seq, payload)
+        wire = marshal(message)
+        delay = self.bucket.reserve(self.runtime.now())
+        if delay > 0:
+            self.runtime.schedule(delay, self._send_wire, wire)
+        else:
+            self._send_wire(wire)
+        self.stats["sent"] += 1
+        # Self-delivery: our own message joins the FIFO stream directly.
+        self._accept(self.member_id, seq, payload)
+
+    def _send_wire(self, wire: bytes) -> None:
+        self.runtime.send(self.group_dest, wire)
+
+    def _drain_blocked(self) -> None:
+        while (
+            self._blocked
+            and not self._frozen
+            and self.pool.has_room(self.member_id)
+        ):
+            self._transmit(self._blocked.popleft())
+        if not self._blocked and self._blocked_since is not None:
+            self.stats["blocked_time"] += self.runtime.now() - self._blocked_since
+            self._blocked_since = None
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def handle_data(self, msg: DataMsg) -> None:
+        origin = msg.sender
+        if origin not in self.windows:
+            return  # departed member: view synchrony discards its traffic
+        if msg.retransmit:
+            # the out-of-order recovery path is measurably heavier than
+            # the fast path in the prototype (Figure 7(c))
+            self.runtime.charge(self.config.retransmit_processing_cost)
+        window = self.windows[origin]
+        if not window.receive(msg.seq):
+            self.stats["duplicates"] += 1
+            return
+        self.pool.store(origin, msg.seq, msg.payload)
+        self._deliver_ready(origin)
+        if window.gaps():
+            self._arm_nack_timer(origin)
+
+    def handle_nack(self, msg: NackMsg) -> None:
+        """Serve a retransmission request from our buffer pool.
+
+        Any member holding the message may serve it (buffers hold all
+        unstable messages), which keeps recovery working after the
+        origin crashes."""
+        requester = self.members.get(msg.sender)
+        if requester is None:
+            return
+        self.runtime.charge(
+            self.config.nack_processing_cost
+            + self.config.nack_per_message_cost * len(msg.missing)
+        )
+        for seq in msg.missing:
+            payload = self.pool.get(msg.origin, seq)
+            if payload is None:
+                continue
+            again = DataMsg(msg.origin, 0, seq, payload, retransmit=True)
+            self.runtime.send(requester, marshal(again))
+            self.stats["retransmits_served"] += 1
+
+    def _accept(self, origin: int, seq: int, payload: bytes) -> None:
+        window = self.windows[origin]
+        window.receive(seq)
+        self.pool.store(origin, seq, payload)
+        self._deliver_ready(origin)
+
+    def _deliver_ready(self, origin: int) -> None:
+        window = self.windows[origin]
+        while self._delivered_up_to[origin] < window.contiguous:
+            seq = self._delivered_up_to[origin] + 1
+            payload = self.pool.get(origin, seq)
+            assert payload is not None, (
+                f"member {self.member_id}: message ({origin}, {seq}) "
+                "reached the contiguous prefix but is not buffered — "
+                "stability must never collect undelivered messages"
+            )
+            self._delivered_up_to[origin] = seq
+            if self.on_fifo_deliver is not None:
+                self.on_fifo_deliver(origin, seq, payload)
+
+    # ------------------------------------------------------------------
+    # gap recovery
+    # ------------------------------------------------------------------
+    def _arm_nack_timer(self, origin: int) -> None:
+        if origin in self._nack_timers:
+            return
+        handle = self.runtime.schedule(
+            self.config.nack_timeout, self._nack_fire, origin
+        )
+        self._nack_timers[origin] = handle
+
+    def _nack_fire(self, origin: int) -> None:
+        self._nack_timers.pop(origin, None)
+        window = self.windows.get(origin)
+        if window is None:
+            return
+        missing = window.gaps(self.config.nack_batch)
+        if not missing:
+            return
+        target = self._retransmission_source(origin)
+        if target is not None:
+            nack = NackMsg(self.member_id, 0, origin, tuple(missing))
+            self.runtime.send(target, marshal(nack))
+            self.stats["nacks_sent"] += 1
+        self._arm_nack_timer(origin)
+
+    def request_catchup(self, origin: int, up_to: int) -> None:
+        """Explicitly request everything missing from ``origin`` up to
+        ``up_to`` (used by the view-change flush)."""
+        window = self.windows.get(origin)
+        if window is None:
+            return
+        missing = [
+            seq
+            for seq in range(window.contiguous + 1, up_to + 1)
+            if not window.has(seq)
+        ]
+        for start in range(0, len(missing), self.config.nack_batch):
+            chunk = tuple(missing[start : start + self.config.nack_batch])
+            target = self._retransmission_source(origin)
+            if target is not None and chunk:
+                self.runtime.send(
+                    target, marshal(NackMsg(self.member_id, 0, origin, chunk))
+                )
+                self.stats["nacks_sent"] += 1
+        if missing:
+            self._arm_nack_timer(origin)
+
+    def _retransmission_source(self, origin: int):
+        """The origin itself, or — once it is suspected — the next live
+        member (rotating by NACK count so load spreads)."""
+        if origin not in self.suspected and origin in self.members:
+            return self.members[origin]
+        live = [
+            m
+            for m in sorted(self.members)
+            if m != self.member_id and m not in self.suspected
+        ]
+        if not live:
+            return None
+        return self.members[live[self.stats["nacks_sent"] % len(live)]]
+
+    # ------------------------------------------------------------------
+    # stability integration
+    # ------------------------------------------------------------------
+    def contiguous_vector(self) -> Dict[int, int]:
+        """Per-origin contiguous reception prefix (the stability vote)."""
+        return {m: w.contiguous for m, w in self.windows.items()}
+
+    def collect_stable(self, stable: Dict[int, int]) -> int:
+        """Garbage-collect messages stable at all members; unblocks
+        senders waiting on their buffer share."""
+        freed = self.pool.collect(stable)
+        if freed:
+            self._drain_blocked()
+        return freed
+
+    # ------------------------------------------------------------------
+    # view-change hooks
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Stop initiating new multicasts (view change in progress)."""
+        self._frozen = True
+
+    def thaw(self) -> None:
+        self._frozen = False
+        self._drain_blocked()
+
+    def reset_membership(self, members: Dict[int, object]) -> None:
+        """Install the new view's membership: departed origins' windows
+        are dropped (their flushed messages were already delivered)."""
+        self.members = dict(members)
+        for origin in list(self.windows):
+            if origin not in members:
+                del self.windows[origin]
+                self._delivered_up_to.pop(origin, None)
+        for origin in members:
+            self.windows.setdefault(origin, ReceiveWindow())
+            self._delivered_up_to.setdefault(origin, 0)
+        # Suspicions about departed members are moot once the view drops
+        # them; members retained by the view get a clean slate too.
+        self.suspected &= set(members)

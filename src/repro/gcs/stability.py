@@ -1,0 +1,130 @@
+"""Gossip-based stability detection (paper §3.4, after Guo's protocol).
+
+The goal is to determine which messages have been received by **all**
+operational processes so they can be discarded from buffers — the key
+element in the performance of reliable multicast.  Detection works in
+asynchronous rounds by gossiping:
+
+* ``S`` — a vector of sequence numbers of known-stable messages;
+* ``W`` — the set of processes that have voted in the current round;
+* ``M`` — a vector of sequence numbers already received by the voters.
+
+Each process adds its vote to ``W`` and lowers ``M`` to its own
+*contiguous* reception prefix.  When ``W`` contains all operational
+processes, ``S`` is raised to ``M`` and a new round starts.  Because a
+round can only garbage-collect the **contiguous common prefix**, loss
+injected independently at each participant dramatically shortens that
+prefix and slows collection — the root cause of the sequencer blocking
+the paper diagnoses in §5.3.
+
+While a round is open, the merge operation (union of W, element-wise
+min of M, element-wise max of S) is a join-semilattice, so gossip order
+cannot matter.  Round *completion* — raising S when W covers the
+membership — is a monotone side effect whose timing depends on arrival
+order; any outcome is safe (S never exceeds true stability) and all
+members reconverge through the max-merge of S carried by every later
+gossip message.  Hypothesis tests assert exactly these properties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .messages import StabilityMsg
+
+__all__ = ["StabilityState"]
+
+_INFINITY = (1 << 62)
+
+
+class StabilityState:
+    """One member's view of the current stability round."""
+
+    def __init__(self, member_id: int, members: Sequence[int]):
+        if member_id not in members:
+            raise ValueError("member_id must be one of members")
+        self.member_id = member_id
+        self.members: Tuple[int, ...] = tuple(sorted(members))
+        self.round_id = 1
+        self.stable: Dict[int, int] = {m: 0 for m in self.members}
+        self.voted: set = set()
+        self.mins: Dict[int, int] = {m: _INFINITY for m in self.members}
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    def reset_membership(self, members: Sequence[int]) -> None:
+        """Install a new view: departed members leave the vectors, new
+        rounds restart, accumulated stability survives."""
+        self.members = tuple(sorted(members))
+        self.stable = {m: self.stable.get(m, 0) for m in self.members}
+        self.round_id += 1
+        self._new_round()
+
+    def vote(self, contiguous: Dict[int, int]) -> None:
+        """Add the local vote: our contiguous reception prefix per origin."""
+        self.voted.add(self.member_id)
+        for origin in self.members:
+            own = contiguous.get(origin, 0)
+            if own < self.mins[origin]:
+                self.mins[origin] = own
+        self._maybe_complete()
+
+    def merge(self, msg: StabilityMsg) -> None:
+        """Fold a peer's gossip into the local state (semilattice join)."""
+        if msg.round_id > self.round_id:
+            # The peer is ahead: adopt its round wholesale, then re-vote.
+            self.round_id = msg.round_id
+            self.voted = set(msg.voted) & set(self.members)
+            self.mins = self._vector_from(msg.mins, default=_INFINITY)
+        elif msg.round_id == self.round_id:
+            self.voted.update(m for m in msg.voted if m in self.members)
+            incoming = self._vector_from(msg.mins, default=_INFINITY)
+            for origin in self.members:
+                if incoming[origin] < self.mins[origin]:
+                    self.mins[origin] = incoming[origin]
+        # Stability knowledge is monotonic: take the max regardless of round.
+        incoming_stable = self._vector_from(msg.stable, default=0)
+        for origin in self.members:
+            if incoming_stable[origin] > self.stable[origin]:
+                self.stable[origin] = incoming_stable[origin]
+        self._maybe_complete()
+
+    def snapshot(self) -> StabilityMsg:
+        """The gossip message describing the local state."""
+        return StabilityMsg(
+            sender=self.member_id,
+            view_id=0,  # stamped by the stack on send
+            round_id=self.round_id,
+            stable=tuple(self.stable[m] for m in self.members),
+            voted=tuple(sorted(self.voted)),
+            mins=tuple(
+                self.mins[m] if self.mins[m] < _INFINITY else _INFINITY
+                for m in self.members
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _maybe_complete(self) -> None:
+        if not set(self.members) <= self.voted:
+            return
+        for origin in self.members:
+            floor = self.mins[origin]
+            if floor < _INFINITY and floor > self.stable[origin]:
+                self.stable[origin] = floor
+        self.rounds_completed += 1
+        self.round_id += 1
+        self._new_round()
+
+    def _new_round(self) -> None:
+        self.voted = set()
+        self.mins = {m: _INFINITY for m in self.members}
+
+    def _vector_from(self, values: Tuple[int, ...], default: int) -> Dict[int, int]:
+        """Map a wire vector (indexed by sorted member slot) to a dict.
+
+        Vectors from peers with a different member count (mid view
+        change) are padded with the neutral element."""
+        out = {}
+        for slot, origin in enumerate(self.members):
+            out[origin] = values[slot] if slot < len(values) else default
+        return out

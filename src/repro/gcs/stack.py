@@ -1,0 +1,229 @@
+"""The assembled group communication stack (paper §3.4).
+
+:class:`GroupCommunication` is the facade the DBSM replica uses: an
+**atomic multicast** primitive (reliable + totally ordered) plus view
+change notifications.  It wires together the reliable multicast, the
+fixed-sequencer total order, gossip stability detection and the view
+manager, and dispatches incoming datagrams by wire type.
+
+Application messages larger than the protocol's safe packet size are
+fragmented here and reassembled after total-order delivery: fragments
+receive consecutive positions in the global order, and since every
+member sees the same order, every member completes each message at the
+same point in the delivery sequence — atomicity is preserved.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.runtime_api import ProtocolRuntime
+from .config import GcsConfig
+from .messages import (
+    DATA,
+    DECIDE,
+    FLUSH_ACK,
+    HEARTBEAT,
+    NACK,
+    PROPOSE,
+    SEQUENCE,
+    STABILITY,
+    MarshalError,
+    marshal,
+    unmarshal,
+)
+from .reliable import ReliableMulticast
+from .sequencer import TotalOrder
+from .stability import StabilityState
+from .views import ViewManager
+
+__all__ = ["GroupCommunication"]
+
+#: Fragment header: message group id, fragment index, fragment count.
+_FRAG = struct.Struct("<QHH")
+
+Deliver = Callable[[int, int, bytes], None]
+ViewChange = Callable[[int, Tuple[int, ...]], None]
+
+
+class GroupCommunication:
+    """Atomic multicast endpoint for one group member."""
+
+    def __init__(
+        self,
+        runtime: ProtocolRuntime,
+        member_id: int,
+        members: Dict[int, object],
+        group_dest: object,
+        config: Optional[GcsConfig] = None,
+        endpoint_ids: Optional[Dict[object, int]] = None,
+    ):
+        self.runtime = runtime
+        self.member_id = member_id
+        self.config = config or GcsConfig()
+        self.reliable = ReliableMulticast(
+            runtime, member_id, members, group_dest, self.config
+        )
+        self.total_order = TotalOrder(
+            runtime, member_id, tuple(members), self.reliable, self.config
+        )
+        self.stability = StabilityState(member_id, tuple(members))
+        self.views = ViewManager(
+            runtime,
+            member_id,
+            members,
+            self.reliable,
+            self.total_order,
+            group_dest,
+            self.config,
+            on_view_change=self._view_installed,
+        )
+        #: Application callback: (global_seq, origin, payload).
+        self.on_deliver: Optional[Deliver] = None
+        #: Application callback: (view_id, members).
+        self.on_view_change: Optional[ViewChange] = None
+        self._endpoint_ids = dict(endpoint_ids or {})
+        self._frag_group = 0
+        self._reassembly: Dict[Tuple[int, int], list] = {}
+        self._started = False
+        self.stats = {"fragments_sent": 0, "messages_multicast": 0, "delivered": 0}
+        self.total_order.on_to_deliver = self._on_ordered
+        runtime.set_receiver(self._on_wire)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin heartbeats and stability gossip."""
+        if self._started:
+            return
+        self._started = True
+        self.views.start()
+        self.runtime.schedule(self.config.stability_interval, self._stability_tick)
+
+    @property
+    def view_id(self) -> int:
+        return self.views.view_id
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return self.views.members
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.total_order.is_sequencer
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: bytes) -> None:
+        """Atomically multicast ``payload`` to the group.
+
+        Large payloads are fragmented below the safe packet size; the
+        group delivers the reassembled message exactly once, in total
+        order, at every operational member."""
+        self.stats["messages_multicast"] += 1
+        limit = self.config.max_packet
+        if len(payload) <= limit:
+            self.total_order.multicast(_FRAG.pack(0, 0, 1) + payload)
+            return
+        self._frag_group += 1
+        chunks = [payload[i : i + limit] for i in range(0, len(payload), limit)]
+        for index, chunk in enumerate(chunks):
+            header = _FRAG.pack(self._frag_group, index, len(chunks))
+            self.total_order.multicast(header + chunk)
+            self.stats["fragments_sent"] += 1
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_wire(self, source: object, buffer: bytes) -> None:
+        try:
+            msg = unmarshal(buffer)
+        except MarshalError:
+            return  # corrupt datagram: drop, reliability recovers
+        physical = self._endpoint_ids.get(source)
+        if physical is not None:
+            self.views.note_heard(physical, msg.view_id)
+        kind = msg.msg_type
+        if kind == DATA:
+            self.reliable.handle_data(msg)
+            self.views.maybe_complete_sync()
+        elif kind == NACK:
+            self.reliable.handle_nack(msg)
+        elif kind == STABILITY:
+            self.stability.merge(msg)
+            self._collect()
+            self._catchup_from_gossip(msg)
+        elif kind == HEARTBEAT:
+            pass  # note_heard above is the whole effect
+        elif kind == PROPOSE:
+            self.views.handle_propose(msg)
+        elif kind == FLUSH_ACK:
+            self.views.handle_flush_ack(msg)
+        elif kind == DECIDE:
+            self.views.handle_decide(msg)
+
+    def _on_ordered(self, global_seq: int, origin: int, seq: int, payload: bytes) -> None:
+        group, index, count = _FRAG.unpack_from(payload)
+        body = payload[_FRAG.size :]
+        if count == 1:
+            self._deliver(global_seq, origin, body)
+            return
+        key = (origin, group)
+        parts = self._reassembly.setdefault(key, [None] * count)
+        parts[index] = body
+        if all(part is not None for part in parts):
+            del self._reassembly[key]
+            self._deliver(global_seq, origin, b"".join(parts))
+
+    def _deliver(self, global_seq: int, origin: int, payload: bytes) -> None:
+        self.stats["delivered"] += 1
+        if self.on_deliver is not None:
+            self.on_deliver(global_seq, origin, payload)
+
+    # ------------------------------------------------------------------
+    # stability gossip
+    # ------------------------------------------------------------------
+    def _stability_tick(self) -> None:
+        self.stability.vote(self.reliable.contiguous_vector())
+        self._collect()
+        snapshot = self.stability.snapshot()
+        stamped = type(snapshot)(
+            sender=snapshot.sender,
+            view_id=self.views.view_id,
+            round_id=snapshot.round_id,
+            stable=snapshot.stable,
+            voted=snapshot.voted,
+            mins=snapshot.mins,
+        )
+        self.runtime.send(self.reliable.group_dest, marshal(stamped))
+        self.runtime.schedule(self.config.stability_interval, self._stability_tick)
+
+    def _collect(self) -> None:
+        self.reliable.collect_stable(self.stability.stable)
+
+    def _catchup_from_gossip(self, msg) -> None:
+        """Tail-loss detection: gossip reveals sequence numbers peers
+        have received that we never saw.  Gap-driven NACKs only cover
+        holes *below* a later arrival; when the newest messages from an
+        origin are lost there is no later arrival, and this — learning
+        reception state from the stability rounds — is what recovers
+        them (Guo's protocol uses its gossip the same way)."""
+        members = self.stability.members
+        own = self.reliable.contiguous_vector()
+        for slot, origin in enumerate(members):
+            if slot >= len(msg.mins):
+                break
+            peer_has = msg.mins[slot]
+            if peer_has >= (1 << 62):  # neutral element: peer not voted
+                continue
+            if peer_has > own.get(origin, 0):
+                self.reliable.request_catchup(origin, peer_has)
+
+    # ------------------------------------------------------------------
+    def _view_installed(self, view_id: int, members: Tuple[int, ...]) -> None:
+        self.stability.reset_membership(members)
+        if self.on_view_change is not None:
+            self.on_view_change(view_id, members)

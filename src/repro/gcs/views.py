@@ -1,0 +1,283 @@
+"""View synchrony: failure detection, consensus-style view agreement,
+and the flush that preserves virtual synchrony across membership change
+(paper §3.4: "View synchrony uses a consensus protocol and imposes a
+negligible overhead during stable operation").
+
+Protocol sketch (coordinator = lowest live member id):
+
+1. heartbeats run continuously; silence beyond ``suspect_after`` marks a
+   member suspected;
+2. the coordinator multicasts ``PROPOSE(view+1, live members)`` and
+   retransmits until every proposed member answers ``FLUSH_ACK`` with
+   its per-origin contiguous reception vector and known total-order
+   assignments;
+3. the coordinator computes per-origin flush **targets** (element-wise
+   max of the vectors — everything anyone FIFO-delivered) and multicasts
+   ``DECIDE``;
+4. each member gap-fills to the targets via NACKs served from peers'
+   stability buffers, then installs the view deterministically (see
+   :meth:`repro.gcs.sequencer.TotalOrder.install_view`).
+
+A coordinator crash mid-change is survived: the next lowest live member
+re-proposes the same (or a higher) view id and members re-answer.  The
+implementation targets crash faults — the paper's §5.3 campaign — and
+assumes suspicion timeouts are set above injected scheduling delays so
+live members are never excluded (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.runtime_api import ProtocolRuntime
+from .config import GcsConfig
+from .messages import (
+    DecideMsg,
+    FlushAckMsg,
+    HeartbeatMsg,
+    ProposeMsg,
+    marshal,
+)
+from .reliable import ReliableMulticast
+from .sequencer import TotalOrder
+
+__all__ = ["ViewManager"]
+
+ViewChange = Callable[[int, Tuple[int, ...]], None]
+
+
+class ViewManager:
+    """One member's membership state machine."""
+
+    STABLE = "stable"
+    FLUSHING = "flushing"  # answered a proposal, waiting for DECIDE
+    SYNCING = "syncing"  # gap-filling towards the decided targets
+
+    def __init__(
+        self,
+        runtime: ProtocolRuntime,
+        member_id: int,
+        members: Dict[int, object],
+        reliable: ReliableMulticast,
+        total_order: TotalOrder,
+        group_dest: object,
+        config: Optional[GcsConfig] = None,
+        on_view_change: Optional[ViewChange] = None,
+    ):
+        self.runtime = runtime
+        self.member_id = member_id
+        self.addresses = dict(members)
+        self.reliable = reliable
+        self.total_order = total_order
+        self.group_dest = group_dest
+        self.config = config or GcsConfig()
+        self.on_view_change = on_view_change
+        self.view_id = 1
+        self.members: Tuple[int, ...] = tuple(sorted(members))
+        self.state = self.STABLE
+        self.last_heard: Dict[int, float] = {}
+        self.peer_view: Dict[int, int] = {m: 1 for m in self.members}
+        # coordinator-side proposal state
+        self._proposal_view = 0
+        self._proposal_members: Tuple[int, ...] = ()
+        self._acks: Dict[int, FlushAckMsg] = {}
+        # member-side decided state
+        self._decided: Optional[DecideMsg] = None
+        self._started = False
+        self.stats = {"view_changes": 0, "proposals_sent": 0, "false_alarms": 0}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        now = self.runtime.now()
+        for member in self.members:
+            self.last_heard[member] = now
+        self.runtime.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+        self.runtime.schedule(self.config.heartbeat_interval, self._suspicion_tick)
+
+    def note_heard(self, member: int, view_id: int) -> None:
+        """Called by the stack on any reception physically from ``member``."""
+        self.last_heard[member] = self.runtime.now()
+        if view_id > self.peer_view.get(member, 0):
+            self.peer_view[member] = view_id
+
+    def alive_members(self) -> Tuple[int, ...]:
+        threshold = self.runtime.now() - self.config.suspect_after
+        return tuple(
+            m
+            for m in self.members
+            if m == self.member_id or self.last_heard.get(m, 0.0) >= threshold
+        )
+
+    # ------------------------------------------------------------------
+    # failure detection
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self) -> None:
+        beat = HeartbeatMsg(self.member_id, self.view_id)
+        self.runtime.send(self.group_dest, marshal(beat))
+        self.runtime.schedule(self.config.heartbeat_interval, self._heartbeat_tick)
+
+    def _suspicion_tick(self) -> None:
+        alive = self.alive_members()
+        suspected = set(self.members) - set(alive)
+        self.reliable.suspected = set(suspected)
+        if suspected and self.member_id == min(alive):
+            self._initiate(alive)
+        self.runtime.schedule(self.config.heartbeat_interval, self._suspicion_tick)
+
+    # ------------------------------------------------------------------
+    # coordinator role
+    # ------------------------------------------------------------------
+    def _initiate(self, alive: Tuple[int, ...]) -> None:
+        proposed = max(self.view_id, self._proposal_view) + (
+            0 if self._proposal_view > self.view_id else 1
+        )
+        if self._proposal_view >= proposed and self._proposal_members == alive:
+            return  # proposal already in flight
+        self._proposal_view = proposed
+        self._proposal_members = alive
+        self._acks = {self.member_id: self._own_ack(proposed)}
+        self.reliable.freeze()
+        self.state = self.FLUSHING
+        self._send_propose()
+
+    def _send_propose(self) -> None:
+        if self._proposal_view <= self.view_id:
+            return
+        missing = [m for m in self._proposal_members if m not in self._acks]
+        if not missing:
+            return
+        msg = ProposeMsg(self.member_id, self._proposal_view, self._proposal_members)
+        self.runtime.send(self.group_dest, marshal(msg))
+        self.stats["proposals_sent"] += 1
+        self.runtime.schedule(self.config.view_retransmit, self._send_propose)
+
+    def handle_flush_ack(self, msg: FlushAckMsg) -> None:
+        if msg.view_id != self._proposal_view:
+            return
+        self._acks[msg.sender] = msg
+        if all(m in self._acks for m in self._proposal_members):
+            self._decide()
+
+    def _decide(self) -> None:
+        targets: Dict[int, int] = {}
+        assignments: Dict[Tuple[int, int, int], None] = {}
+        for ack in self._acks.values():
+            for origin, contiguous in ack.contiguous:
+                if contiguous > targets.get(origin, 0):
+                    targets[origin] = contiguous
+            for triple in ack.assignments:
+                assignments[triple] = None
+        decide = DecideMsg(
+            self.member_id,
+            self._proposal_view,
+            self._proposal_members,
+            tuple(sorted(targets.items())),
+            tuple(sorted(assignments)),
+        )
+        self._decided = decide
+        self.state = self.SYNCING
+        self._broadcast_decide()
+        self._sync_tick()
+
+    def _broadcast_decide(self) -> None:
+        decide = self._decided
+        if decide is None or self.view_id >= decide.view_id and self._all_adopted():
+            return
+        self.runtime.send(self.group_dest, marshal(decide))
+        self.runtime.schedule(self.config.view_retransmit, self._broadcast_decide)
+
+    def _all_adopted(self) -> bool:
+        decide = self._decided
+        if decide is None:
+            return True
+        return all(
+            self.peer_view.get(m, 0) >= decide.view_id for m in decide.members
+        )
+
+    # ------------------------------------------------------------------
+    # member role
+    # ------------------------------------------------------------------
+    def handle_propose(self, msg: ProposeMsg) -> None:
+        if msg.view_id <= self.view_id:
+            return
+        if self.member_id not in msg.members:
+            return  # we are being excluded; nothing useful to do (no rejoin)
+        self.reliable.freeze()
+        if self.state == self.STABLE:
+            self.state = self.FLUSHING
+        ack = self._own_ack(msg.view_id)
+        coordinator = self.addresses.get(msg.sender)
+        if coordinator is not None:
+            self.runtime.send(coordinator, marshal(ack))
+
+    def handle_decide(self, msg: DecideMsg) -> None:
+        if msg.view_id <= self.view_id:
+            return
+        if self.member_id not in msg.members:
+            return
+        self._decided = msg
+        self.state = self.SYNCING
+        self.total_order._adopt_assignments(msg.assignments)
+        self._sync_tick()
+
+    def _own_ack(self, proposed_view: int) -> FlushAckMsg:
+        contiguous = tuple(sorted(self.reliable.contiguous_vector().items()))
+        assignments = tuple(
+            sorted(
+                (g, origin, seq)
+                for g, (origin, seq) in self.total_order.assignments.items()
+            )
+        )
+        return FlushAckMsg(self.member_id, proposed_view, contiguous, assignments)
+
+    # ------------------------------------------------------------------
+    # sync phase
+    # ------------------------------------------------------------------
+    def _sync_tick(self) -> None:
+        decide = self._decided
+        if decide is None or self.state != self.SYNCING:
+            return
+        vector = self.reliable.contiguous_vector()
+        behind = [
+            (origin, target)
+            for origin, target in decide.targets
+            if vector.get(origin, 0) < target
+        ]
+        if not behind:
+            self._install(decide)
+            return
+        for origin, target in behind:
+            self.reliable.request_catchup(origin, target)
+        self.runtime.schedule(self.config.view_retransmit, self._sync_tick)
+
+    def maybe_complete_sync(self) -> None:
+        """Cheap completion probe the stack calls on DATA receptions."""
+        decide = self._decided
+        if decide is None or self.state != self.SYNCING:
+            return
+        vector = self.reliable.contiguous_vector()
+        if all(vector.get(o, 0) >= t for o, t in decide.targets):
+            self._install(decide)
+
+    def _install(self, decide: DecideMsg) -> None:
+        if decide.view_id <= self.view_id:
+            return
+        self.view_id = decide.view_id
+        self.members = tuple(sorted(decide.members))
+        self.peer_view[self.member_id] = self.view_id
+        addresses = {
+            m: self.addresses[m] for m in self.members if m in self.addresses
+        }
+        self.reliable.reset_membership(addresses)
+        self.total_order.install_view(self.members, dict(decide.targets))
+        self.state = self.STABLE
+        self._proposal_view = max(self._proposal_view, self.view_id)
+        self.reliable.thaw()
+        self.stats["view_changes"] += 1
+        if self.on_view_change is not None:
+            self.on_view_change(self.view_id, self.members)

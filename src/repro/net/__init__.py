@@ -1,0 +1,29 @@
+"""Simulated network substrate (the SSFNet analogue).
+
+Public surface: :class:`Network` / :class:`Host` for topology,
+:class:`UdpSocket` for endpoints, :class:`Endpoint` / :class:`GroupAddress`
+for addressing, :class:`PacketCapture` for observation, and the loss
+processes used by fault injection.
+"""
+
+from .address import Endpoint, GroupAddress
+from .capture import CaptureEntry, PacketCapture
+from .link import RateLimitedLink
+from .lossmodels import BurstyLoss, LossProcess, NoLoss, RandomLoss
+from .network import Host, Network
+from .udp import UdpSocket
+
+__all__ = [
+    "Endpoint",
+    "GroupAddress",
+    "CaptureEntry",
+    "PacketCapture",
+    "RateLimitedLink",
+    "BurstyLoss",
+    "LossProcess",
+    "NoLoss",
+    "RandomLoss",
+    "Host",
+    "Network",
+    "UdpSocket",
+]

@@ -1,0 +1,40 @@
+"""Addressing for the simulated network.
+
+Endpoints are ``(host, port)`` pairs like UDP; multicast groups are
+distinct address objects that the fabric expands to the current member
+set.  Addresses are immutable and hashable so they can key routing and
+membership tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Endpoint", "GroupAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A unicast UDP-style endpoint: host name + port number."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True, order=True)
+class GroupAddress:
+    """An IP-multicast-style group address.
+
+    Membership is managed by the :class:`repro.net.network.Network`; the
+    ``port`` selects which bound socket on each member host receives the
+    datagram, mirroring UDP multicast semantics.
+    """
+
+    group: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"mcast:{self.group}:{self.port}"

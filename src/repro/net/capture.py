@@ -1,0 +1,82 @@
+"""Packet capture — the tcpdump-style observation facility (paper §2.1).
+
+SSFNet logs traffic in tcpdump format; we record structured capture
+entries that tests and benches query directly, and provide a text dump
+with a tcpdump-flavoured line format for human inspection.  The capture
+also keeps running byte totals per time bucket, which is how Figure 6(c)
+(network KB/s vs clients) is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["CaptureEntry", "PacketCapture"]
+
+
+@dataclass(frozen=True)
+class CaptureEntry:
+    """One packet observed on the fabric."""
+
+    time: float
+    source: str
+    dest: str
+    size: int
+    kind: str  # "unicast" | "multicast" | "drop"
+
+
+class PacketCapture:
+    """Accumulates :class:`CaptureEntry` records and per-bucket byte totals."""
+
+    def __init__(self, bucket_seconds: float = 1.0, keep_entries: bool = True):
+        if bucket_seconds <= 0:
+            raise ValueError("bucket size must be positive")
+        self.bucket_seconds = bucket_seconds
+        self.keep_entries = keep_entries
+        self.entries: List[CaptureEntry] = []
+        self.total_bytes = 0
+        self.total_packets = 0
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, time: float, source: str, dest: str, size: int, kind: str) -> None:
+        if self.keep_entries:
+            self.entries.append(CaptureEntry(time, source, dest, size, kind))
+        if kind != "drop":
+            self.total_bytes += size
+            self.total_packets += 1
+            self._buckets[int(time / self.bucket_seconds)] = (
+                self._buckets.get(int(time / self.bucket_seconds), 0) + size
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def bytes_per_second(self) -> List[float]:
+        """Byte totals per bucket, normalized to bytes/second."""
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [
+            self._buckets.get(i, 0) / self.bucket_seconds for i in range(last + 1)
+        ]
+
+    def mean_kbytes_per_second(self, skip_buckets: int = 0) -> float:
+        """Average KB/s over the run (optionally skipping warm-up buckets)."""
+        series = self.bytes_per_second()[skip_buckets:]
+        if not series:
+            return 0.0
+        return sum(series) / len(series) / 1024.0
+
+    def filter(self, predicate: Callable[[CaptureEntry], bool]) -> List[CaptureEntry]:
+        return [e for e in self.entries if predicate(e)]
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """tcpdump-flavoured text listing (for debugging and examples)."""
+        lines = []
+        for entry in self.entries[: limit or len(self.entries)]:
+            lines.append(
+                f"{entry.time:12.6f} {entry.kind:<9} "
+                f"{entry.source} > {entry.dest}: length {entry.size}"
+            )
+        return "\n".join(lines)

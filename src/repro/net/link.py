@@ -1,0 +1,105 @@
+"""Rate-limited links with bounded queues — the wire model.
+
+Each simulated host attaches to the fabric through two of these (egress
+and ingress), modeling a full-duplex switched Ethernet port: packets are
+serialized at the link rate, queue while the link is busy, and are
+dropped at the tail once the buffer is full.  This is where the
+bandwidth ceilings of Figures 3(a)/3(b) come from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..core.kernel import Entity, Simulator
+
+__all__ = ["RateLimitedLink", "LinkStats"]
+
+#: Ethernet + IP + UDP framing added to every payload on the wire.
+WIRE_OVERHEAD_BYTES = 42
+
+
+class LinkStats:
+    """Byte/packet counters plus a time series for usage plots."""
+
+    __slots__ = ("bytes_sent", "packets_sent", "packets_dropped", "busy_time")
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class RateLimitedLink(Entity):
+    """Serializes packets at ``bandwidth_bps`` with propagation ``latency``.
+
+    ``deliver(size, on_delivered)`` charges the transmission time of
+    ``size`` bytes (payload + wire overhead), queues behind in-flight
+    packets, and invokes ``on_delivered`` at the instant the last bit
+    plus the propagation delay arrive.  The queue holds at most
+    ``queue_bytes`` of not-yet-transmitted data; beyond that, tail drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float = 100e6,
+        latency: float = 50e-6,
+        queue_bytes: int = 256 * 1024,
+    ):
+        super().__init__(sim, name)
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.queue_bytes = queue_bytes
+        self.stats = LinkStats()
+        self._queued: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self._queued_bytes = 0
+        self._transmitting = False
+
+    def transmission_time(self, size: int) -> float:
+        return (size + WIRE_OVERHEAD_BYTES) * 8.0 / self.bandwidth_bps
+
+    def deliver(self, size: int, on_delivered: Callable[[], None]) -> bool:
+        """Queue a packet of ``size`` payload bytes.  Returns False and
+        counts a drop if the buffer is full."""
+        if self._queued_bytes + size > self.queue_bytes:
+            self.stats.packets_dropped += 1
+            return False
+        self._queued.append((size, on_delivered))
+        self._queued_bytes += size
+        if not self._transmitting:
+            self._transmit_next()
+        return True
+
+    def queue_depth(self) -> int:
+        """Bytes waiting to be transmitted (not counting the in-flight one)."""
+        return self._queued_bytes
+
+    # ------------------------------------------------------------------
+    def _transmit_next(self) -> None:
+        if not self._queued:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        size, on_delivered = self._queued.popleft()
+        self._queued_bytes -= size
+        tx_time = self.transmission_time(size)
+        self.stats.busy_time += tx_time
+        self.stats.bytes_sent += size + WIRE_OVERHEAD_BYTES
+        self.stats.packets_sent += 1
+        # The receiver sees the packet after serialization + propagation;
+        # the link is free for the next packet after serialization alone.
+        self.schedule(tx_time + self.latency, on_delivered)
+        self.schedule(tx_time, self._transmit_next)

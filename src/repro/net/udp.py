@@ -1,0 +1,57 @@
+"""UDP-style sockets over the simulated fabric.
+
+The simplified network interface the protocol abstraction layer exposes
+(paper §2.3) bottoms out here when running under simulation: a socket is
+a bound port on a host, sends are fire-and-forget datagrams, and a
+receive callback is invoked per arriving datagram.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .address import Endpoint, GroupAddress
+from .network import Destination, Host
+
+__all__ = ["UdpSocket"]
+
+ReceiveCallback = Callable[[Endpoint, bytes], None]
+
+
+class UdpSocket:
+    """A bound datagram socket on a simulated host."""
+
+    def __init__(self, host: Host, port: int):
+        self.host = host
+        self.port = port
+        self._receiver: Optional[ReceiveCallback] = None
+        self._closed = False
+        host.bind(port, self._on_datagram)
+
+    @property
+    def address(self) -> Endpoint:
+        return Endpoint(self.host.name, self.port)
+
+    def set_receiver(self, callback: ReceiveCallback) -> None:
+        self._receiver = callback
+
+    def send(self, dest: Destination, payload: bytes) -> None:
+        if self._closed:
+            raise RuntimeError("socket is closed")
+        self.host.send(self.port, dest, payload)
+
+    def join(self, group: GroupAddress) -> None:
+        """Subscribe this socket's host to a multicast group."""
+        self.host.network.join(group, self.host.name)
+
+    def leave(self, group: GroupAddress) -> None:
+        self.host.network.leave(group, self.host.name)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.host.unbind(self.port)
+            self._closed = True
+
+    def _on_datagram(self, source: Endpoint, payload: bytes) -> None:
+        if self._receiver is not None and not self._closed:
+            self._receiver(source, payload)

@@ -1,0 +1,35 @@
+"""TPC-C traffic generation: schema, profiles, workload, clients.
+
+The industry-standard TPC-C benchmark provides the realistic OLTP load
+the paper drives its prototypes with (§3.2); only the workload matters —
+throughput/screen constraints of the benchmark do not apply.
+"""
+
+from .calibration import calibrated_profiles, fit_profiles, generate_profiling_corpus
+from .client import Client, ClientPool
+from .profiles import (
+    CLASSES,
+    EmpiricalDistribution,
+    LogNormalProfile,
+    ProfileSet,
+    default_profiles,
+)
+from .schema import TpccLayout, warehouses_for_clients
+from .workload import MIX, TpccWorkload
+
+__all__ = [
+    "calibrated_profiles",
+    "fit_profiles",
+    "generate_profiling_corpus",
+    "Client",
+    "ClientPool",
+    "CLASSES",
+    "EmpiricalDistribution",
+    "LogNormalProfile",
+    "ProfileSet",
+    "default_profiles",
+    "TpccLayout",
+    "warehouses_for_clients",
+    "MIX",
+    "TpccWorkload",
+]

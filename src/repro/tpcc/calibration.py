@@ -1,0 +1,157 @@
+"""Synthetic profiling of the database engine (the paper's §4.1 stand-in).
+
+The paper instruments PostgreSQL with virtualized CPU cycle counters,
+runs TPC-C with 20 active clients, discards the first 15 minutes and
+aborted transactions, keeps 5000 transactions, classifies each from its
+query text, splits the bimodal classes, and fits per-class **empirical
+distributions** of CPU time.  Two facts anchor the result: commit CPU is
+near-constant (< 2 ms) across classes, and read-only commits do no I/O.
+
+Without a 2001 testbed we *simulate the profiling itself*: a synthetic
+"instrumented engine" emits per-transaction (class, cpu, blocked) log
+records with the calibrated parametric profiles plus measurement noise;
+this module then performs the paper's fitting procedure — discard
+warm-up, discard aborts, split bimodal classes, fit empirical
+distributions — and returns a :class:`ProfileSet` built from those fits.
+The pipeline exercises exactly the data path the paper used, and the
+round trip (parametric → corpus → empirical) is validated in the tests:
+fitted means land within a few percent of the source profiles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .profiles import (
+    CLASSES,
+    EmpiricalDistribution,
+    ProfileSet,
+    default_profiles,
+)
+
+__all__ = [
+    "ProfilingRecord",
+    "generate_profiling_corpus",
+    "fit_profiles",
+    "calibrated_profiles",
+    "WARMUP_SECONDS",
+    "CORPUS_TRANSACTIONS",
+]
+
+#: The TPC-C standard's warm-up discard, honoured by the profiling run
+#: (the *model* runs do not need it, §3.2).
+WARMUP_SECONDS = 15 * 60
+#: Transactions retained after warm-up, as in the paper.
+CORPUS_TRANSACTIONS = 5000
+
+
+@dataclass(frozen=True)
+class ProfilingRecord:
+    """One line of the instrumented engine's log: the query's class, the
+    scheduled CPU time, the blocked (I/O wait) time, the wall-clock
+    instant, and whether the transaction aborted."""
+
+    time: float
+    tx_class: str
+    cpu_time: float
+    blocked_time: float
+    aborted: bool
+
+
+def generate_profiling_corpus(
+    seed: int = 41,
+    transactions: int = CORPUS_TRANSACTIONS,
+    include_warmup: bool = True,
+    source: Optional[ProfileSet] = None,
+    noise: float = 0.05,
+    abort_prob: float = 0.05,
+) -> List[ProfilingRecord]:
+    """Emit a synthetic instrumented-PostgreSQL log.
+
+    Measurement noise is multiplicative Gaussian (cycle-counter reads are
+    precise but scheduling adds jitter); blocked time is near zero for
+    processing — the paper observed I/O only at update commits, evidence
+    of a well-cached database.
+    """
+    rng = random.Random(seed)
+    profiles = source or default_profiles()
+    records: List[ProfilingRecord] = []
+    clock = 0.0
+    total = transactions + (transactions // 3 if include_warmup else 0)
+    for i in range(total):
+        tx_class = rng.choice(_mix_classes())
+        cpu = profiles.sample_cpu(tx_class, rng)
+        cpu *= max(0.1, 1.0 + rng.gauss(0.0, noise))
+        is_update = profiles.sectors(tx_class) > 0
+        blocked = abs(rng.gauss(2e-3, 1e-3)) if is_update else 0.0
+        aborted = rng.random() < abort_prob
+        # ~20 active clients: inter-arrival spread keeps the clock moving.
+        clock += rng.expovariate(20.0 / 1.0) if i else 0.0
+        if include_warmup and i < total - transactions:
+            time = clock  # falls inside the warm-up window
+        else:
+            time = WARMUP_SECONDS + clock
+        records.append(ProfilingRecord(time, tx_class, cpu, blocked, aborted))
+    return records
+
+
+def fit_profiles(
+    records: Sequence[ProfilingRecord],
+    think_time_mean: float = 12.0,
+    commit_sectors: Optional[Dict[str, int]] = None,
+) -> ProfileSet:
+    """The paper's fitting procedure over a profiling log.
+
+    Discards records inside the warm-up window and aborted transactions,
+    groups by class, and fits an :class:`EmpiricalDistribution` each.
+    Classes absent from the log raise — a silent fallback would
+    invalidate every downstream experiment.
+    """
+    kept = [
+        r for r in records if r.time >= WARMUP_SECONDS and not r.aborted
+    ]
+    by_class: Dict[str, List[float]] = {}
+    for record in kept:
+        by_class.setdefault(record.tx_class, []).append(record.cpu_time)
+    missing = [cls for cls in CLASSES if not by_class.get(cls)]
+    if missing:
+        raise ValueError(
+            f"profiling corpus has no usable samples for: {missing}"
+        )
+    commit_cpu = _estimate_commit_cpu(kept)
+    return ProfileSet(
+        cpu={cls: EmpiricalDistribution(by_class[cls]) for cls in CLASSES},
+        commit_cpu=commit_cpu,
+        commit_sectors=commit_sectors,
+        think_time_mean=think_time_mean,
+    )
+
+
+def calibrated_profiles(seed: int = 41) -> ProfileSet:
+    """End-to-end §4.1: synthesize the corpus, run the fit, return the
+    empirically-fitted profile set used by the validation experiments."""
+    corpus = generate_profiling_corpus(seed=seed)
+    return fit_profiles(corpus)
+
+
+def _mix_classes() -> Tuple[str, ...]:
+    """Class draw proportional to the TPC-C mix with the 60/40 splits."""
+    return (
+        *("neworder",) * 44,
+        *("payment-long",) * 26,
+        *("payment-short",) * 18,
+        *("orderstatus-long",) * 2,
+        *("orderstatus-short",) * 2,
+        *("delivery",) * 4,
+        *("stocklevel",) * 4,
+    )
+
+
+def _estimate_commit_cpu(records: Sequence[ProfilingRecord]) -> float:
+    """Commit CPU is near-constant across classes (< 2 ms, §4.1); the
+    synthetic engine folds it into blocked/commit bookkeeping, so the
+    estimate is the paper's published bound."""
+    del records  # the anchor is published, not re-derived
+    return 1.8e-3

@@ -1,0 +1,101 @@
+"""The database client model (paper §3.2).
+
+A client is attached to one database server and produces a stream of
+transaction requests.  After issuing a request the client blocks until
+the server replies — a single-threaded client process — then pauses for
+a think time before the next request.  Clients log submission time,
+termination time, outcome and identifier per transaction; the collector
+in :mod:`repro.core.metrics` derives latency, throughput and abort rate
+for any subset of users or transaction classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.kernel import Entity, Signal, Simulator
+from ..db.server import DatabaseServer
+from .workload import TpccWorkload
+
+__all__ = ["Client", "ClientPool"]
+
+
+class Client(Entity):
+    """One emulated terminal in a closed loop with its server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: int,
+        server: DatabaseServer,
+        workload: TpccWorkload,
+        max_transactions: Optional[int] = None,
+        think_first: bool = True,
+    ):
+        super().__init__(sim, f"client{client_id}")
+        self.client_id = client_id
+        self.server = server
+        self.workload = workload
+        self.max_transactions = max_transactions
+        self.think_first = think_first
+        self.issued = 0
+        self.completed = 0
+        self._stopped = False
+        self.process = sim.process(self._loop(), name=self.name)
+
+    def stop(self) -> None:
+        """Stop issuing after the in-flight transaction (if any)."""
+        self._stopped = True
+
+    def _loop(self):
+        if self.think_first:
+            # Staggered start: clients begin at a random think offset so
+            # the ramp-up does not arrive as a thundering herd.
+            yield self.workload.think_time()
+        while not self._stopped:
+            if (
+                self.max_transactions is not None
+                and self.issued >= self.max_transactions
+            ):
+                return
+            spec = self.workload.next_transaction(self.client_id)
+            done = Signal(self.sim, latch=True)
+            self.issued += 1
+            self.server.submit(spec, on_done=lambda tx: done.fire(tx))
+            yield done
+            self.completed += 1
+            yield self.workload.think_time()
+
+
+class ClientPool:
+    """Spawns and tracks a population of clients on one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: DatabaseServer,
+        workload: TpccWorkload,
+        count: int,
+        first_id: int = 0,
+        max_transactions_per_client: Optional[int] = None,
+    ):
+        self.clients = [
+            Client(
+                sim,
+                first_id + i,
+                server,
+                workload,
+                max_transactions=max_transactions_per_client,
+            )
+            for i in range(count)
+        ]
+
+    def stop_all(self) -> None:
+        for client in self.clients:
+            client.stop()
+
+    def total_issued(self) -> int:
+        return sum(c.issued for c in self.clients)
+
+    def total_completed(self) -> int:
+        return sum(c.completed for c in self.clients)

@@ -1,0 +1,170 @@
+"""TPC-C schema: tables, cardinalities, tuple sizes, identifier layout.
+
+The paper uses the TPC-C workload purely as a realistic traffic source
+(§3.2): a wholesale supplier with geographically distributed districts
+and warehouses, sized at one warehouse per 10 emulated clients, tuples
+ranging from 8 to 655 bytes.  Tuple identifiers are 64-bit integers with
+the table id in the high-order bits (§3.3), which this module lays out
+on top of :mod:`repro.db.tuples`.
+
+Insert identifiers (orders, order lines, history rows) are striped by
+site index so that two replicas can never generate the same fresh row id
+— in a real system this uniqueness comes from the district's
+``next_o_id`` counter, which is serialized by certification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..db.tuples import make_tuple_id
+
+__all__ = [
+    "Table",
+    "TABLES",
+    "TpccLayout",
+    "WAREHOUSE",
+    "DISTRICT",
+    "CUSTOMER",
+    "HISTORY",
+    "NEWORDER",
+    "ORDER",
+    "ORDERLINE",
+    "ITEM",
+    "STOCK",
+    "DISTRICTS_PER_WAREHOUSE",
+    "CUSTOMERS_PER_DISTRICT",
+    "STOCK_PER_WAREHOUSE",
+    "ITEM_COUNT",
+    "CLIENTS_PER_WAREHOUSE",
+]
+
+
+@dataclass(frozen=True)
+class Table:
+    """One TPC-C table: id for the tuple-identifier prefix, typical row
+    size in bytes (used to pad messages and size storage transfers)."""
+
+    table_id: int
+    name: str
+    row_bytes: int
+
+
+WAREHOUSE = Table(1, "warehouse", 89)
+DISTRICT = Table(2, "district", 95)
+CUSTOMER = Table(3, "customer", 655)
+HISTORY = Table(4, "history", 46)
+NEWORDER = Table(5, "neworder", 8)
+ORDER = Table(6, "order", 24)
+ORDERLINE = Table(7, "orderline", 54)
+ITEM = Table(8, "item", 82)
+STOCK = Table(9, "stock", 306)
+
+TABLES: Dict[int, Table] = {
+    t.table_id: t
+    for t in (
+        WAREHOUSE,
+        DISTRICT,
+        CUSTOMER,
+        HISTORY,
+        NEWORDER,
+        ORDER,
+        ORDERLINE,
+        ITEM,
+        STOCK,
+    )
+}
+
+#: TPC-C scaling constants.
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 3000
+STOCK_PER_WAREHOUSE = 100_000
+ITEM_COUNT = 100_000
+#: Each warehouse supports 10 emulated clients (paper §3.2).
+CLIENTS_PER_WAREHOUSE = 10
+
+
+class TpccLayout:
+    """Maps logical TPC-C keys to 64-bit tuple identifiers.
+
+    One instance per simulation; ``site_index``/``site_count`` stripe
+    fresh insert ids across replicas so concurrent inserts at different
+    sites never collide.
+    """
+
+    def __init__(self, warehouses: int, site_index: int = 0, site_count: int = 1):
+        if warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        if not 0 <= site_index < site_count:
+            raise ValueError("site_index out of range")
+        self.warehouses = warehouses
+        self.site_index = site_index
+        self.site_count = site_count
+        self._insert_counter = 0
+
+    # -- keyed rows -----------------------------------------------------
+    def warehouse(self, w: int) -> int:
+        self._check_wh(w)
+        return make_tuple_id(WAREHOUSE.table_id, w + 1)
+
+    def district(self, w: int, d: int) -> int:
+        self._check_wh(w)
+        self._check_district(d)
+        return make_tuple_id(
+            DISTRICT.table_id, w * DISTRICTS_PER_WAREHOUSE + d + 1
+        )
+
+    def customer(self, w: int, d: int, c: int) -> int:
+        self._check_wh(w)
+        self._check_district(d)
+        if not 0 <= c < CUSTOMERS_PER_DISTRICT:
+            raise ValueError(f"customer {c} out of range")
+        row = (w * DISTRICTS_PER_WAREHOUSE + d) * CUSTOMERS_PER_DISTRICT + c + 1
+        return make_tuple_id(CUSTOMER.table_id, row)
+
+    def stock(self, w: int, item: int) -> int:
+        self._check_wh(w)
+        if not 0 <= item < ITEM_COUNT:
+            raise ValueError(f"item {item} out of range")
+        return make_tuple_id(STOCK.table_id, w * STOCK_PER_WAREHOUSE + item + 1)
+
+    def item(self, item: int) -> int:
+        if not 0 <= item < ITEM_COUNT:
+            raise ValueError(f"item {item} out of range")
+        return make_tuple_id(ITEM.table_id, item + 1)
+
+    # -- fresh rows (inserts) --------------------------------------------
+    def fresh_row(self, table: Table) -> int:
+        """A globally unique row id for an insert into ``table``."""
+        self._insert_counter += 1
+        row = self._insert_counter * self.site_count + self.site_index + 1
+        return make_tuple_id(table.table_id, row)
+
+    # -- sizes ------------------------------------------------------------
+    def approx_tuple_count(self) -> int:
+        """Rough total database cardinality (the paper quotes > 1e9
+        tuples at 2000 clients — dominated by stock and customers times
+        history growth; we count the static tables)."""
+        per_warehouse = (
+            1
+            + DISTRICTS_PER_WAREHOUSE
+            + DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
+            + STOCK_PER_WAREHOUSE
+        )
+        return self.warehouses * per_warehouse + ITEM_COUNT
+
+    # -- internals ---------------------------------------------------------
+    def _check_wh(self, w: int) -> None:
+        if not 0 <= w < self.warehouses:
+            raise ValueError(f"warehouse {w} out of range")
+
+    @staticmethod
+    def _check_district(d: int) -> None:
+        if not 0 <= d < DISTRICTS_PER_WAREHOUSE:
+            raise ValueError(f"district {d} out of range")
+
+
+def warehouses_for_clients(clients: int) -> int:
+    """The paper sizes the database as one warehouse per 10 clients."""
+    return max(1, (clients + CLIENTS_PER_WAREHOUSE - 1) // CLIENTS_PER_WAREHOUSE)

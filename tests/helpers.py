@@ -1,0 +1,110 @@
+"""Shared assembly helpers for the test suite.
+
+Builds small protocol groups (network + CSRT + GCS) without the database
+layers, so reliable-multicast / total-order / view tests run against the
+same wiring the experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clock import CpuCostModel
+from repro.core.cpu import CpuPool
+from repro.core.csrt import SiteRuntime
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.kernel import Simulator
+from repro.core.runtime_api import SimulatedProtocolRuntime
+from repro.gcs.config import GcsConfig
+from repro.gcs.stack import GroupCommunication
+from repro.net.address import Endpoint, GroupAddress
+from repro.net.network import Network
+from repro.net.udp import UdpSocket
+
+__all__ = ["GroupHarness", "make_group"]
+
+
+class GroupHarness:
+    """A running group of protocol stacks over a simulated LAN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        stacks: List[GroupCommunication],
+        runtimes: List[SiteRuntime],
+        injectors: Dict[int, FaultInjector],
+    ):
+        self.sim = sim
+        self.network = network
+        self.stacks = stacks
+        self.runtimes = runtimes
+        self.injectors = injectors
+        self.delivered: Dict[int, List[Tuple[int, int, bytes]]] = {
+            s.member_id: [] for s in stacks
+        }
+        for stack in stacks:
+            member = stack.member_id
+
+            def on_deliver(gseq, origin, payload, member=member):
+                self.delivered[member].append((gseq, origin, payload))
+
+            stack.on_deliver = on_deliver
+
+    def start(self) -> None:
+        for stack in self.stacks:
+            stack.start()
+
+    def sequences(self) -> List[List[Tuple[int, int]]]:
+        """Per-member (global_seq, origin) delivery orders."""
+        return [
+            [(g, o) for g, o, _ in self.delivered[s.member_id]]
+            for s in self.stacks
+        ]
+
+
+def make_group(
+    n: int = 3,
+    config: Optional[GcsConfig] = None,
+    fault_plans: Optional[Dict[int, FaultPlan]] = None,
+    seed: int = 3,
+) -> GroupHarness:
+    """Wire ``n`` members on one simulated Ethernet segment."""
+    sim = Simulator()
+    network = Network(sim)
+    group = GroupAddress("test", 9000)
+    members = {i: Endpoint(f"m{i}", 9000) for i in range(n)}
+    endpoint_ids = {addr: i for i, addr in members.items()}
+    stacks: List[GroupCommunication] = []
+    runtimes: List[SiteRuntime] = []
+    injectors: Dict[int, FaultInjector] = {}
+    plans = fault_plans or {}
+    for i in range(n):
+        host = network.add_host(f"m{i}")
+        sock = UdpSocket(host, 9000)
+        sock.join(group)
+        injector = None
+        if i in plans:
+            injector = FaultInjector(plans[i])
+            injectors[i] = injector
+        runtime = SiteRuntime(
+            sim,
+            CpuPool(sim, 1, name=f"m{i}.cpu"),
+            cost_model=CpuCostModel(),
+            interceptor=injector,
+            name=f"m{i}.rt",
+        )
+        runtime.network_send = sock.send
+        sock.set_receiver(runtime.deliver)
+        protocol_runtime = SimulatedProtocolRuntime(runtime, members[i], seed=seed + i)
+        stack = GroupCommunication(
+            protocol_runtime,
+            i,
+            members,
+            group,
+            config=config,
+            endpoint_ids=endpoint_ids,
+        )
+        stacks.append(stack)
+        runtimes.append(runtime)
+    return GroupHarness(sim, network, stacks, runtimes, injectors)

@@ -1,0 +1,124 @@
+"""Integration: replication across WAN segments (§3.4, §5.2).
+
+The group communication disseminates over IP multicast on LANs and
+falls back to unicast when the destination set spans segments; the
+paper argues the traffic volumes make WAN deployment realistic.  These
+tests run the protocol harness across two segments with 20 ms one-way
+latency and check the fallback, ordering, and the latency impact.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.core.clock import CpuCostModel
+from repro.core.cpu import CpuPool
+from repro.core.csrt import SiteRuntime
+from repro.core.kernel import Simulator
+from repro.core.runtime_api import SimulatedProtocolRuntime
+from repro.gcs.config import GcsConfig
+from repro.gcs.stack import GroupCommunication
+from repro.net.address import Endpoint, GroupAddress
+from repro.net.network import Network
+from repro.net.udp import UdpSocket
+
+WAN_LATENCY = 0.020
+
+
+def build_wan_group(n_east=2, n_west=1, wan_latency=WAN_LATENCY):
+    sim = Simulator()
+    network = Network(sim)
+    network.set_wan_latency("east", "west", wan_latency)
+    group = GroupAddress("wan", 9000)
+    members = {}
+    segments = {}
+    for i in range(n_east + n_west):
+        segment = "east" if i < n_east else "west"
+        members[i] = Endpoint(f"m{i}", 9000)
+        segments[i] = segment
+    endpoint_ids = {a: i for i, a in members.items()}
+    stacks = []
+    delivered = {i: [] for i in members}
+    for i, address in members.items():
+        host = network.add_host(f"m{i}", segment=segments[i])
+        sock = UdpSocket(host, 9000)
+        sock.join(group)
+        runtime = SiteRuntime(
+            sim, CpuPool(sim, 1), cost_model=CpuCostModel(), name=f"m{i}.rt"
+        )
+        runtime.network_send = sock.send
+        sock.set_receiver(runtime.deliver)
+        protocol = SimulatedProtocolRuntime(runtime, address, seed=i)
+        # multicast is not capable across segments: unicast fan-out
+        capable = network.multicast_capable(f"m{i}", group)
+        dest = group if capable else [a for j, a in members.items() if j != i]
+        stack = GroupCommunication(
+            protocol, i, members, dest,
+            config=GcsConfig(stability_interval=0.05),
+            endpoint_ids=endpoint_ids,
+        )
+        stack.on_deliver = (
+            lambda g, o, p, member=i: delivered[member].append((g, o, p))
+        )
+        stacks.append(stack)
+    return sim, network, stacks, delivered
+
+
+class TestWanFallback:
+    def test_group_spans_segments_forces_unicast(self):
+        sim, network, stacks, delivered = build_wan_group()
+        group = GroupAddress("wan", 9000)
+        assert not network.multicast_capable("m0", group)
+
+    def test_total_order_holds_across_wan(self):
+        sim, network, stacks, delivered = build_wan_group()
+        for stack in stacks:
+            stack.start()
+        for k in range(9):
+            sim.schedule(0.01 * (k + 1), stacks[k % 3].multicast, b"w%d" % k)
+        sim.run(until=5.0)
+        orders = [
+            [(g, o) for g, o, _ in delivered[i]] for i in range(3)
+        ]
+        assert all(len(order) == 9 for order in orders)
+        assert orders[0] == orders[1] == orders[2]
+
+    def test_wan_latency_shapes_delivery_time(self):
+        """A cross-segment member's delivery lags by at least the WAN
+        round trip through the sequencer."""
+        sim, network, stacks, delivered = build_wan_group()
+        for stack in stacks:
+            stack.start()
+        sent_at = 0.5
+        sim.schedule(sent_at, stacks[2].multicast, b"from-west")
+        sim.run(until=5.0)
+        # member 2 is in the west; the sequencer (member 0) is east: the
+        # DATA crosses the WAN, the SEQUENCE comes back
+        arrival = None
+        for g, o, p in delivered[2]:
+            if p == b"from-west":
+                arrival = g
+        assert arrival is not None
+        # total-order delivery at the *origin* still needed a WAN round
+        # trip: DATA west->east plus SEQUENCE east->west
+        # (we can't read the exact instant from the payload list, so
+        # assert via a fresh run measuring time)
+        sim2, network2, stacks2, delivered2 = build_wan_group()
+        times = {}
+        for i, stack in enumerate(stacks2):
+            stack.on_deliver = (
+                lambda g, o, p, member=i: times.setdefault(member, sim2.now)
+            )
+        for stack in stacks2:
+            stack.start()
+        sim2.schedule(sent_at, stacks2[2].multicast, b"x")
+        sim2.run(until=5.0)
+        assert times[2] - sent_at >= 2 * WAN_LATENCY
+
+    def test_lan_only_group_keeps_multicast(self):
+        sim, network, stacks, delivered = build_wan_group(n_east=3, n_west=0)
+        group = GroupAddress("wan", 9000)
+        assert network.multicast_capable("m0", group)

@@ -1,0 +1,51 @@
+"""Property tests: the sorted-merge conflict test against brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.tuples import is_table_lock, make_tuple_id, table_lock_id, table_of
+from repro.dbsm.certification import sets_conflict
+
+# ids over a handful of small tables so collisions actually happen
+tuple_ids = st.builds(
+    make_tuple_id,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=30),
+)
+table_locks = st.builds(table_lock_id, st.integers(min_value=1, max_value=4))
+id_sets = st.lists(st.one_of(tuple_ids, table_locks), max_size=25).map(
+    lambda ids: tuple(sorted(set(ids)))
+)
+
+
+def brute_force_conflict(reads, writes):
+    for r in reads:
+        for w in writes:
+            if r == w:
+                return True
+            if is_table_lock(r) and table_of(r) == table_of(w):
+                return True
+            if is_table_lock(w) and table_of(w) == table_of(r):
+                return True
+    return False
+
+
+@given(id_sets, id_sets)
+@settings(max_examples=500)
+def test_merge_traversal_equals_brute_force(reads, writes):
+    assert sets_conflict(reads, writes) == brute_force_conflict(reads, writes)
+
+
+@given(id_sets, id_sets)
+@settings(max_examples=200)
+def test_conflict_is_symmetric(reads, writes):
+    assert sets_conflict(reads, writes) == sets_conflict(writes, reads)
+
+
+@given(id_sets)
+@settings(max_examples=100)
+def test_nonempty_self_conflict(ids):
+    if ids:
+        assert sets_conflict(ids, ids)
+    else:
+        assert not sets_conflict(ids, ids)

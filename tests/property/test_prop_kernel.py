@@ -1,0 +1,54 @@
+"""Property tests: the event kernel's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+@settings(max_examples=200)
+def test_events_execute_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    executed = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100)
+def test_process_sleep_durations_sum(durations):
+    sim = Simulator()
+    finished = []
+
+    def proc():
+        for d in durations:
+            yield d
+        finished.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert finished[0] <= sum(durations) * (1 + 1e-9) + 1e-9
+    assert finished[0] >= sum(durations) * (1 - 1e-9) - 1e-9
+
+
+@given(st.integers(min_value=0, max_value=49), st.integers(min_value=1, max_value=50))
+@settings(max_examples=50)
+def test_cancellation_removes_exactly_one(cancel_index, count):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(0.1 * i, fired.append, i) for i in range(count)]
+    victim = events[cancel_index % count]
+    victim.cancel()
+    sim.run()
+    expected = [i for i in range(count) if events[i] is not victim]
+    assert fired == expected

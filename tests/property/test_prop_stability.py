@@ -1,0 +1,138 @@
+"""Property tests: stability merge is a join-semilattice.
+
+Commutativity, associativity and idempotence of the merge are what make
+gossip converge regardless of message ordering, duplication, or loss —
+the correctness core of the garbage-collection protocol.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcs.messages import StabilityMsg
+from repro.gcs.stability import StabilityState
+
+MEMBERS = (0, 1, 2)
+
+_INFINITY = 1 << 62
+
+
+def _consistent(msg: StabilityMsg) -> StabilityMsg:
+    """A round with no voters carries only neutral (infinite) M entries —
+    the merge attributes M constraints to voters, so a voterless message
+    with finite mins is unreachable in the protocol."""
+    if msg.voted:
+        return msg
+    return StabilityMsg(
+        msg.sender, msg.view_id, msg.round_id, msg.stable,
+        msg.voted, (_INFINITY,) * len(msg.mins),
+    )
+
+
+messages = st.builds(
+    StabilityMsg,
+    sender=st.sampled_from(MEMBERS),
+    view_id=st.just(0),
+    round_id=st.integers(min_value=1, max_value=5),
+    stable=st.tuples(*[st.integers(min_value=0, max_value=50)] * 3),
+    voted=st.lists(st.sampled_from(MEMBERS), unique=True, max_size=3).map(tuple),
+    mins=st.tuples(*[st.integers(min_value=0, max_value=50)] * 3),
+).map(_consistent)
+
+
+def state_key(state: StabilityState):
+    return (
+        state.round_id,
+        tuple(sorted(state.stable.items())),
+        tuple(sorted(state.voted)),
+        tuple(sorted(state.mins.items())),
+        state.rounds_completed,
+    )
+
+
+def fresh_state():
+    return StabilityState(0, MEMBERS)
+
+
+@given(messages, messages)
+@settings(max_examples=300)
+def test_merge_commutative_while_round_open(m1, m2):
+    """Completion-free same-round merges form a join-semilattice
+    (W union, M min, S max), so gossip order cannot matter while a round
+    is still collecting votes.
+
+    Round *completion* is a monotone side effect that may fire at
+    different points depending on arrival order (a late extra vote can
+    lower the min before or after S was advanced); either outcome is
+    safe — S never exceeds true stability — and the states reconverge
+    through the monotone S max-merge carried by later gossip (see
+    test_full_gossip_converges_stable)."""
+    if m1.round_id != m2.round_id:
+        m2 = StabilityMsg(
+            m2.sender, m2.view_id, m1.round_id, m2.stable, m2.voted, m2.mins
+        )
+    if set(m1.voted) | set(m2.voted) >= set(MEMBERS):
+        # the pair would complete the round: completion timing is
+        # legitimately order-dependent, not covered by this property
+        m2 = StabilityMsg(
+            m2.sender, m2.view_id, m2.round_id, m2.stable, (),
+            (_INFINITY,) * 3,
+        )
+    a, b = fresh_state(), fresh_state()
+    a.round_id = m1.round_id
+    b.round_id = m1.round_id
+    a.merge(m1)
+    a.merge(m2)
+    b.merge(m2)
+    b.merge(m1)
+    assert state_key(a) == state_key(b)
+
+
+@given(messages)
+@settings(max_examples=200)
+def test_merge_idempotent(msg):
+    a = fresh_state()
+    a.merge(msg)
+    before = state_key(a)
+    a.merge(msg)
+    assert state_key(a) == before
+
+
+@given(st.lists(messages, max_size=8))
+@settings(max_examples=200)
+def test_stability_vector_is_monotone(msgs):
+    state = fresh_state()
+    previous = dict(state.stable)
+    for msg in msgs:
+        state.merge(msg)
+        for member in MEMBERS:
+            assert state.stable[member] >= previous[member]
+        previous = dict(state.stable)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(MEMBERS),
+        st.tuples(*[st.integers(min_value=0, max_value=50)] * 3),
+        min_size=3,
+        max_size=3,
+    )
+)
+@settings(max_examples=200)
+def test_full_gossip_converges_stable(votes):
+    """After everyone votes and gossip fully mixes, every member holds
+    the same stable vector: the element-wise minimum of the votes."""
+    states = {m: StabilityState(m, MEMBERS) for m in MEMBERS}
+    for member, state in states.items():
+        state.vote(dict(zip(MEMBERS, votes[member])))
+    for _ in range(3):  # a few full exchange rounds reach the fixpoint
+        snapshots = {m: s.snapshot() for m, s in states.items()}
+        for member, state in states.items():
+            for other, snap in snapshots.items():
+                if other != member:
+                    state.merge(snap)
+    expected = {
+        m: min(votes[peer][slot] for peer in MEMBERS)
+        for slot, m in enumerate(MEMBERS)
+    }
+    for state in states.values():
+        assert state.stable == expected

@@ -1,0 +1,53 @@
+"""Property tests: tuple-identifier encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.tuples import (
+    ROW_BITS,
+    covers,
+    is_table_lock,
+    make_tuple_id,
+    row_of,
+    table_lock_id,
+    table_of,
+)
+
+tables = st.integers(min_value=1, max_value=(1 << 16) - 1)
+rows = st.integers(min_value=1, max_value=(1 << ROW_BITS) - 1)
+
+
+@given(tables, rows)
+@settings(max_examples=500)
+def test_roundtrip(table, row):
+    tid = make_tuple_id(table, row)
+    assert table_of(tid) == table
+    assert row_of(tid) == row
+    assert not is_table_lock(tid)
+
+
+@given(tables, rows, tables, rows)
+@settings(max_examples=300)
+def test_injective(t1, r1, t2, r2):
+    if (t1, r1) != (t2, r2):
+        assert make_tuple_id(t1, r1) != make_tuple_id(t2, r2)
+
+
+@given(tables, rows)
+@settings(max_examples=300)
+def test_table_lock_covers_exactly_its_table(table, row):
+    lock = table_lock_id(table)
+    assert is_table_lock(lock)
+    assert covers(lock, make_tuple_id(table, row))
+    other_table = table + 1 if table < (1 << 16) - 1 else table - 1
+    assert not covers(lock, make_tuple_id(other_table, row))
+
+
+@given(tables, rows)
+@settings(max_examples=300)
+def test_sort_order_groups_tables(table, row):
+    """All ids of table T sort between T's table lock and T+1's."""
+    tid = make_tuple_id(table, row)
+    assert table_lock_id(table) <= tid
+    if table < (1 << 16) - 1:
+        assert tid < table_lock_id(table + 1)

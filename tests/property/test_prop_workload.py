@@ -1,0 +1,100 @@
+"""Property tests: invariants of generated TPC-C transactions.
+
+The most load-bearing one is preemption safety: a remotely-certified
+transaction may abort a local lock holder *only because* that holder
+would fail certification anyway (paper §3.1).  That implication holds
+iff every non-insert write of an update transaction also appears in its
+certified read set — checked here over the whole generator.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.tuples import row_of, table_of
+from repro.tpcc import schema
+from repro.tpcc.workload import TpccWorkload, _NOHEAD_BASE
+
+seeds = st.integers(min_value=0, max_value=10_000)
+warehouse_counts = st.integers(min_value=1, max_value=8)
+
+
+def make_workload(seed, warehouses, site_index=0, site_count=1):
+    return TpccWorkload(
+        warehouses,
+        rng=random.Random(seed),
+        site_index=site_index,
+        site_count=site_count,
+    )
+
+
+def is_insert(tuple_id: int) -> bool:
+    """Fresh rows are below the settled/nohead namespaces and belong to
+    insert tables (history, neworder, order, orderline)."""
+    return table_of(tuple_id) in (4, 5, 6, 7) and row_of(tuple_id) < _NOHEAD_BASE
+
+
+@given(seeds, warehouse_counts)
+@settings(max_examples=150)
+def test_specs_well_formed(seed, warehouses):
+    workload = make_workload(seed, warehouses)
+    for i in range(30):
+        spec = workload.next_transaction(i)
+        assert spec.read_set == tuple(sorted(set(spec.read_set)))
+        assert spec.write_set == tuple(sorted(set(spec.write_set)))
+        assert spec.total_cpu() > 0
+        for item in spec.write_sizes:
+            assert item in spec.write_set
+        if spec.readonly:
+            assert spec.commit_sectors == 0
+            assert spec.read_set == ()
+
+
+@given(seeds, warehouse_counts)
+@settings(max_examples=150)
+def test_preemption_safety_invariant(seed, warehouses):
+    """Every non-insert write is covered by the read set, so any two
+    update transactions with overlapping non-insert writes also have a
+    read-write intersection — certification will abort whichever loses,
+    which is what makes remote preemption of local holders safe."""
+    workload = make_workload(seed, warehouses)
+    for i in range(30):
+        spec = workload.next_transaction(i)
+        for item in spec.write_set:
+            if not is_insert(item):
+                assert item in spec.read_set, (
+                    f"{spec.tx_class}: write {item:#x} not covered by reads"
+                )
+
+
+@given(seeds)
+@settings(max_examples=50)
+def test_insert_ids_disjoint_across_sites(seed):
+    site_count = 3
+    workloads = [
+        make_workload(seed, 4, site_index=i, site_count=site_count)
+        for i in range(site_count)
+    ]
+    inserts = []
+    for workload in workloads:
+        mine = set()
+        for i in range(40):
+            spec = workload.next_transaction(i)
+            mine.update(item for item in spec.write_set if is_insert(item))
+        inserts.append(mine)
+    for i in range(site_count):
+        for j in range(i + 1, site_count):
+            assert not inserts[i] & inserts[j]
+
+
+@given(seeds, warehouse_counts)
+@settings(max_examples=50)
+def test_items_stay_inside_schema_bounds(seed, warehouses):
+    workload = make_workload(seed, warehouses)
+    valid_tables = set(schema.TABLES)
+    for i in range(30):
+        spec = workload.next_transaction(i)
+        for item in (*spec.read_set, *spec.write_set):
+            assert table_of(item) in valid_tables
+            assert row_of(item) >= 1

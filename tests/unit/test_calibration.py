@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic profiling pipeline (paper §4.1)."""
+
+import pytest
+
+from repro.tpcc.calibration import (
+    WARMUP_SECONDS,
+    ProfilingRecord,
+    calibrated_profiles,
+    fit_profiles,
+    generate_profiling_corpus,
+)
+from repro.tpcc.profiles import CLASSES, default_profiles
+
+
+class TestCorpus:
+    def test_corpus_covers_all_classes(self):
+        corpus = generate_profiling_corpus(seed=1, transactions=3000)
+        classes = {r.tx_class for r in corpus}
+        assert set(CLASSES) <= classes
+
+    def test_warmup_records_present(self):
+        corpus = generate_profiling_corpus(seed=1, transactions=1000)
+        assert any(r.time < WARMUP_SECONDS for r in corpus)
+        assert any(r.time >= WARMUP_SECONDS for r in corpus)
+
+    def test_readonly_classes_have_no_blocked_time(self):
+        """§4.1: read-only commits do no I/O, so nothing blocks."""
+        corpus = generate_profiling_corpus(seed=2, transactions=3000)
+        for record in corpus:
+            if record.tx_class in ("orderstatus-short", "stocklevel"):
+                assert record.blocked_time == 0.0
+
+    def test_update_classes_block_for_io(self):
+        corpus = generate_profiling_corpus(seed=2, transactions=3000)
+        blocked = [r.blocked_time for r in corpus if r.tx_class == "neworder"]
+        assert sum(blocked) > 0
+
+
+class TestFit:
+    def test_roundtrip_means_close_to_source(self):
+        """Parametric → corpus → empirical must approximately recover the
+        source distributions (the validation of the §4.1 pipeline)."""
+        source = default_profiles()
+        corpus = generate_profiling_corpus(
+            seed=3, transactions=5000, source=source
+        )
+        fitted = fit_profiles(corpus)
+        for cls in ("neworder", "payment-long", "delivery"):
+            assert fitted.cpu[cls].mean() == pytest.approx(
+                source.cpu[cls].mean(), rel=0.15
+            )
+
+    def test_warmup_and_aborts_discarded(self):
+        corpus = [
+            ProfilingRecord(0.0, cls, 1.0, 0.0, False) for cls in CLASSES
+        ] + [
+            ProfilingRecord(WARMUP_SECONDS + 1.0, cls, 2e-3, 0.0, False)
+            for cls in CLASSES
+        ] + [
+            ProfilingRecord(WARMUP_SECONDS + 2.0, cls, 50.0, 0.0, True)
+            for cls in CLASSES
+        ]
+        fitted = fit_profiles(corpus)
+        # only the 2 ms records survive the filters
+        for cls in CLASSES:
+            assert fitted.cpu[cls].mean() == pytest.approx(2e-3)
+
+    def test_missing_class_raises(self):
+        corpus = [
+            ProfilingRecord(WARMUP_SECONDS + 1.0, "neworder", 1e-3, 0.0, False)
+        ]
+        with pytest.raises(ValueError, match="no usable samples"):
+            fit_profiles(corpus)
+
+    def test_commit_cpu_anchor(self):
+        fitted = calibrated_profiles(seed=4)
+        assert fitted.commit_cpu < 2e-3

@@ -1,0 +1,65 @@
+"""Unit tests for packet capture and its traffic statistics."""
+
+import pytest
+
+from repro.net.capture import PacketCapture
+
+
+class TestPacketCapture:
+    def test_records_and_counts(self):
+        cap = PacketCapture()
+        cap.record(0.5, "a", "b", 100, "unicast")
+        cap.record(1.5, "a", "g", 200, "multicast")
+        assert cap.total_packets == 2
+        assert cap.total_bytes == 300
+        assert len(cap.entries) == 2
+
+    def test_drops_not_counted_in_bytes(self):
+        cap = PacketCapture()
+        cap.record(0.0, "a", "b", 100, "drop")
+        assert cap.total_bytes == 0
+        assert len(cap.entries) == 1
+
+    def test_bytes_per_second_buckets(self):
+        cap = PacketCapture(bucket_seconds=1.0)
+        cap.record(0.1, "a", "b", 100, "unicast")
+        cap.record(0.9, "a", "b", 100, "unicast")
+        cap.record(2.5, "a", "b", 300, "unicast")
+        assert cap.bytes_per_second() == [200.0, 0.0, 300.0]
+
+    def test_mean_kbytes_per_second(self):
+        cap = PacketCapture(bucket_seconds=1.0)
+        cap.record(0.5, "a", "b", 1024, "unicast")
+        cap.record(1.5, "a", "b", 1024, "unicast")
+        assert cap.mean_kbytes_per_second() == pytest.approx(1.0)
+
+    def test_skip_warmup_buckets(self):
+        cap = PacketCapture(bucket_seconds=1.0)
+        cap.record(0.5, "a", "b", 10240, "unicast")
+        cap.record(1.5, "a", "b", 1024, "unicast")
+        assert cap.mean_kbytes_per_second(skip_buckets=1) == pytest.approx(1.0)
+
+    def test_filter(self):
+        cap = PacketCapture()
+        cap.record(0.0, "a", "b", 100, "unicast")
+        cap.record(0.0, "c", "g", 100, "multicast")
+        multicast = cap.filter(lambda e: e.kind == "multicast")
+        assert len(multicast) == 1
+        assert multicast[0].source == "c"
+
+    def test_dump_format(self):
+        cap = PacketCapture()
+        cap.record(1.25, "a:1", "b:2", 128, "unicast")
+        line = cap.dump()
+        assert "a:1 > b:2" in line
+        assert "length 128" in line
+
+    def test_keep_entries_false_still_counts(self):
+        cap = PacketCapture(keep_entries=False)
+        cap.record(0.0, "a", "b", 100, "unicast")
+        assert cap.entries == []
+        assert cap.total_bytes == 100
+
+    def test_invalid_bucket_size(self):
+        with pytest.raises(ValueError):
+            PacketCapture(bucket_seconds=0.0)

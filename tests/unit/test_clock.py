@@ -1,0 +1,118 @@
+"""Unit tests for the profiling timers and the CPU cost model."""
+
+import time
+
+import pytest
+
+from repro.core.clock import CostModelTimer, CpuCostModel, WallClockTimer
+
+
+class TestWallClockTimer:
+    def test_measures_real_elapsed_time(self):
+        timer = WallClockTimer()
+        timer.start()
+        deadline = time.perf_counter() + 0.02
+        while time.perf_counter() < deadline:
+            pass
+        elapsed = timer.stop()
+        assert 0.015 < elapsed < 0.2
+
+    def test_pause_excludes_interval(self):
+        timer = WallClockTimer()
+        timer.start()
+        timer.pause()
+        deadline = time.perf_counter() + 0.02
+        while time.perf_counter() < deadline:
+            pass
+        timer.resume()
+        elapsed = timer.stop()
+        assert elapsed < 0.01
+
+    def test_scale_multiplies_measurement(self):
+        fast = WallClockTimer(scale=1.0)
+        slow = WallClockTimer(scale=4.0)
+        for timer in (fast, slow):
+            timer.start()
+            deadline = time.perf_counter() + 0.01
+            while time.perf_counter() < deadline:
+                pass
+            timer.stop()
+        assert slow.elapsed() > fast.elapsed() * 2
+
+    def test_charge_is_noop(self):
+        timer = WallClockTimer()
+        timer.start()
+        timer.charge(100.0)
+        assert timer.stop() < 1.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            WallClockTimer(scale=0.0)
+
+
+class TestCostModelTimer:
+    def test_accumulates_charges(self):
+        timer = CostModelTimer()
+        timer.start()
+        timer.charge(0.5)
+        timer.charge(0.25)
+        assert timer.stop() == pytest.approx(0.75)
+
+    def test_charges_while_paused_are_dropped(self):
+        timer = CostModelTimer()
+        timer.start()
+        timer.charge(0.1)
+        timer.pause()
+        timer.charge(99.0)  # simulation-side code must not bill the job
+        timer.resume()
+        timer.charge(0.1)
+        assert timer.stop() == pytest.approx(0.2)
+
+    def test_charges_before_start_ignored(self):
+        timer = CostModelTimer()
+        timer.charge(5.0)
+        timer.start()
+        assert timer.stop() == 0.0
+
+    def test_negative_charge_rejected(self):
+        timer = CostModelTimer()
+        timer.start()
+        with pytest.raises(ValueError):
+            timer.charge(-1.0)
+
+    def test_elapsed_readable_mid_job(self):
+        timer = CostModelTimer()
+        timer.start()
+        timer.charge(0.3)
+        assert timer.elapsed() == pytest.approx(0.3)
+
+
+class TestCpuCostModel:
+    def test_default_send_cost_has_fixed_and_variable_parts(self):
+        model = CpuCostModel()
+        small = model.cost(CpuCostModel.SEND, 0)
+        large = model.cost(CpuCostModel.SEND, 4096)
+        assert small > 0
+        assert large > small
+
+    def test_register_overrides(self):
+        model = CpuCostModel()
+        model.register("certify", 1e-6, 2e-9)
+        assert model.cost("certify", 1000) == pytest.approx(1e-6 + 2e-6)
+
+    def test_unknown_tag_falls_back_to_timer_cost(self):
+        model = CpuCostModel()
+        assert model.cost("mystery") == model.cost(CpuCostModel.TIMER)
+
+    def test_noop_tag_is_free(self):
+        model = CpuCostModel()
+        assert model.cost(CpuCostModel.NOOP, 100000) == 0.0
+
+    def test_negative_cost_rejected(self):
+        model = CpuCostModel()
+        with pytest.raises(ValueError):
+            model.register("bad", -1.0)
+
+    def test_constructor_overrides(self):
+        model = CpuCostModel(overrides={CpuCostModel.SEND: (1e-6, 0.0)})
+        assert model.cost(CpuCostModel.SEND, 10_000) == pytest.approx(1e-6)

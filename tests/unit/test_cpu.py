@@ -1,0 +1,164 @@
+"""Unit tests for simulated CPUs: queueing, preemption, accounting."""
+
+import pytest
+
+from repro.core.cpu import REAL_JOB, SIM_JOB, CpuPool, Job, SimulatedCpu
+from repro.core.kernel import Simulator
+
+
+def sim_job(duration, done, tag=""):
+    return Job(SIM_JOB, duration=duration, on_complete=lambda: done.append(tag), tag=tag)
+
+
+def real_job(duration, done, tag=""):
+    return Job(
+        REAL_JOB,
+        execute=lambda: duration,
+        on_complete=lambda: done.append(tag),
+        tag=tag,
+    )
+
+
+class TestSimulatedCpu:
+    def test_sim_job_occupies_cpu_for_duration(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(sim_job(0.5, done, "a"))
+        assert cpu.busy
+        sim.run()
+        assert done == ["a"]
+        assert sim.now == pytest.approx(0.5)
+
+    def test_jobs_queue_fifo(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(sim_job(0.2, done, "a"))
+        cpu.submit(sim_job(0.3, done, "b"))
+        sim.run()
+        assert done == ["a", "b"]
+        assert sim.now == pytest.approx(0.5)
+
+    def test_real_job_duration_from_execute(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(real_job(0.25, done, "r"))
+        sim.run()
+        assert done == ["r"]
+        assert sim.now == pytest.approx(0.25)
+
+    def test_real_preempts_running_sim_job(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(sim_job(1.0, done, "slow"))
+        sim.schedule(0.4, cpu.submit, real_job(0.2, done, "urgent"))
+        sim.run()
+        # urgent runs at 0.4..0.6; slow resumes with 0.6 remaining.
+        assert done == ["urgent", "slow"]
+        assert sim.now == pytest.approx(1.2)
+
+    def test_preempted_job_counts_preemptions(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        job = sim_job(1.0, done, "victim")
+        cpu.submit(job)
+        sim.schedule(0.1, cpu.submit, real_job(0.1, done, "r"))
+        sim.run()
+        assert job.preemptions == 1
+
+    def test_real_does_not_preempt_real(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(real_job(0.5, done, "r1"))
+        sim.schedule(0.1, cpu.submit, real_job(0.1, done, "r2"))
+        sim.run()
+        assert done == ["r1", "r2"]
+        assert sim.now == pytest.approx(0.6)
+
+    def test_busy_time_accounting_by_kind(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        done = []
+        cpu.submit(sim_job(0.3, done))
+        cpu.submit(real_job(0.2, done))
+        sim.run()
+        assert cpu.busy_time[SIM_JOB] == pytest.approx(0.3)
+        assert cpu.busy_time[REAL_JOB] == pytest.approx(0.2)
+
+    def test_utilization_includes_running_slice(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim)
+        cpu.submit(sim_job(1.0, []))
+        sim.run(until=0.5)
+        usage = cpu.utilization(0.5)
+        assert usage["total"] == pytest.approx(1.0)
+
+    def test_speed_scale_shortens_sim_jobs(self):
+        sim = Simulator()
+        cpu = SimulatedCpu(sim, speed_scale=2.0)
+        done = []
+        cpu.submit(sim_job(1.0, done))
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Job("weird")
+        with pytest.raises(ValueError):
+            Job(REAL_JOB)  # missing execute
+        with pytest.raises(ValueError):
+            Job(SIM_JOB, duration=-1.0)
+
+
+class TestCpuPool:
+    def test_pool_spreads_jobs_across_idle_cpus(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 3)
+        done = []
+        for tag in "abc":
+            pool.submit(sim_job(1.0, done, tag))
+        sim.run()
+        assert sorted(done) == ["a", "b", "c"]
+        assert sim.now == pytest.approx(1.0)  # parallel, not serial
+
+    def test_pool_queues_when_all_busy(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 2)
+        done = []
+        for tag in "abcd":
+            pool.submit(sim_job(1.0, done, tag))
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_real_job_placed_on_sim_running_cpu_when_no_idle(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 2)
+        done = []
+        pool.submit(sim_job(1.0, done, "s1"))
+        pool.submit(real_job(1.0, done, "r1"))
+
+        def later():
+            cpu = pool.submit(real_job(0.1, done, "r2"))
+            # must land on the CPU running modeled work, not behind r1
+            assert cpu.current_kind == REAL_JOB
+
+        sim.schedule(0.2, later)
+        sim.run()
+        assert done.index("r2") < done.index("s1")
+
+    def test_pool_utilization_averages(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 2)
+        pool.submit(sim_job(1.0, []))
+        sim.run()
+        usage = pool.utilization(1.0)
+        assert usage["total"] == pytest.approx(0.5)
+
+    def test_pool_requires_cpu(self):
+        with pytest.raises(ValueError):
+            CpuPool(Simulator(), 0)

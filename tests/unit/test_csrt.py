@@ -1,0 +1,197 @@
+"""Unit tests for the centralized simulation runtime (Figure 1 semantics)."""
+
+import pytest
+
+from repro.core.clock import CpuCostModel
+from repro.core.cpu import CpuPool, REAL_JOB
+from repro.core.csrt import MEASURED, MODELED, RuntimeInterceptor, SiteRuntime
+from repro.core.kernel import Simulator
+
+
+def make_runtime(mode=MODELED, interceptor=None):
+    sim = Simulator()
+    pool = CpuPool(sim, 1)
+    runtime = SiteRuntime(sim, pool, mode=mode, interceptor=interceptor)
+    return sim, pool, runtime
+
+
+class TestRealJobExecution:
+    def test_modeled_job_charges_entry_cost_plus_explicit(self):
+        sim, pool, runtime = make_runtime()
+        runtime.submit_real(lambda: runtime.rt_charge(1e-3), tag=CpuCostModel.TIMER)
+        sim.run()
+        expected = 1e-3 + runtime.cost_model.cost(CpuCostModel.TIMER)
+        assert pool.cpus[0].busy_time[REAL_JOB] == pytest.approx(expected)
+
+    def test_measured_job_uses_wall_clock(self):
+        sim, pool, runtime = make_runtime(mode=MEASURED)
+
+        def spin():
+            total = 0
+            for i in range(20000):
+                total += i
+            return total
+
+        runtime.submit_real(spin)
+        sim.run()
+        assert pool.cpus[0].busy_time[REAL_JOB] > 0
+
+    def test_delta1_correction_on_scheduled_events(self):
+        """δ′q = Δ1 + δq: events land after the CPU time consumed so far."""
+        sim, _, runtime = make_runtime()
+        fired = []
+
+        def job():
+            runtime.rt_charge(2e-3)  # Δ1 = 2 ms (plus the 5 µs entry cost)
+            runtime.rt_schedule(5e-3, lambda: fired.append(sim.now))
+
+        runtime.submit_real(job)
+        sim.run()
+        entry = runtime.cost_model.cost(CpuCostModel.TIMER)
+        assert fired[0] >= 2e-3 + 5e-3 + entry - 1e-12
+
+    def test_rt_now_includes_elapsed_job_time(self):
+        sim, _, runtime = make_runtime()
+        observed = []
+
+        def job():
+            runtime.rt_charge(3e-3)
+            observed.append(runtime.rt_now())
+
+        runtime.submit_real(job)
+        sim.run()
+        assert observed[0] >= 3e-3
+
+    def test_rt_now_outside_job_is_sim_now(self):
+        sim, _, runtime = make_runtime()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert runtime.rt_now() == sim.now
+
+    def test_delayed_submission(self):
+        sim, _, runtime = make_runtime()
+        fired = []
+        runtime.submit_real(lambda: fired.append(sim.now), delay=0.5)
+        sim.run()
+        assert fired and fired[0] >= 0.5
+
+    def test_on_complete_called_after_duration(self):
+        sim, _, runtime = make_runtime()
+        completions = []
+        runtime.submit_real(
+            lambda: runtime.rt_charge(1e-3),
+            on_complete=lambda: completions.append(sim.now),
+        )
+        sim.run()
+        assert completions[0] >= 1e-3
+
+    def test_scheduled_callback_cancel(self):
+        sim, _, runtime = make_runtime()
+        fired = []
+        handle = runtime.rt_schedule(0.5, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestNetworkBoundary:
+    def test_send_charges_cost_and_delays_injection(self):
+        sim, pool, runtime = make_runtime()
+        sent = []
+        runtime.network_send = lambda dest, payload: sent.append((sim.now, dest))
+
+        def job():
+            runtime.rt_charge(1e-3)
+            runtime.rt_send("dest", b"x" * 100)
+
+        runtime.submit_real(job)
+        sim.run()
+        # The datagram leaves after Δ1 (entry + charge + send cost).
+        send_cost = runtime.cost_model.cost(CpuCostModel.SEND, 100)
+        entry = runtime.cost_model.cost(CpuCostModel.TIMER)
+        assert sent[0][0] == pytest.approx(1e-3 + send_cost + entry)
+
+    def test_send_without_bridge_raises(self):
+        sim, _, runtime = make_runtime()
+        errors = []
+
+        def job():
+            try:
+                runtime.rt_send("dest", b"x")
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        runtime.submit_real(job)
+        sim.run()
+        assert errors
+
+    def test_deliver_runs_receiver_as_real_job(self):
+        sim, pool, runtime = make_runtime()
+        got = []
+        runtime.receiver = lambda src, payload: got.append((src, payload))
+        runtime.deliver("peer", b"data")
+        sim.run()
+        assert got == [("peer", b"data")]
+        assert pool.cpus[0].busy_time[REAL_JOB] > 0
+
+    def test_deliver_without_receiver_is_dropped(self):
+        sim, _, runtime = make_runtime()
+        runtime.deliver("peer", b"data")
+        sim.run()
+        assert runtime.stats["datagrams_in"] == 0
+
+
+class TestInterception:
+    def test_crash_stops_jobs_sends_and_deliveries(self):
+        sim, pool, runtime = make_runtime()
+        runtime.network_send = lambda dest, payload: pytest.fail("sent after crash")
+        got = []
+        runtime.receiver = got.append
+        runtime.crash()
+        runtime.submit_real(lambda: got.append("ran"))
+        runtime.deliver("peer", b"x")
+        sim.run()
+        assert got == []
+        assert runtime.stats["jobs_skipped_crashed"] == 1
+
+    def test_interceptor_drop_incoming(self):
+        class DropAll(RuntimeInterceptor):
+            def drop_incoming(self, source, payload):
+                return True
+
+        sim, _, runtime = make_runtime(interceptor=DropAll())
+        got = []
+        runtime.receiver = lambda src, payload: got.append(payload)
+        runtime.deliver("peer", b"x")
+        sim.run()
+        assert got == []
+        assert runtime.stats["drops_injected"] == 1
+
+    def test_interceptor_transform_delay(self):
+        class Doubler(RuntimeInterceptor):
+            def transform_delay(self, delay):
+                return delay * 2.0
+
+        sim, _, runtime = make_runtime(interceptor=Doubler())
+        fired = []
+        runtime.rt_schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired[0] >= 2.0
+
+    def test_interceptor_transform_elapsed(self):
+        class Halver(RuntimeInterceptor):
+            def transform_elapsed(self, elapsed):
+                return elapsed / 2.0
+
+        sim, pool, runtime = make_runtime(interceptor=Halver())
+        runtime.submit_real(lambda: runtime.rt_charge(2e-3))
+        sim.run()
+        entry = runtime.cost_model.cost(CpuCostModel.TIMER)
+        assert pool.cpus[0].busy_time[REAL_JOB] == pytest.approx(
+            (2e-3 + entry) / 2.0
+        )
+
+    def test_invalid_mode_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SiteRuntime(sim, CpuPool(sim, 1), mode="quantum")

@@ -1,0 +1,48 @@
+"""Unit tests for the rate-based flow control (token bucket)."""
+
+import pytest
+
+from repro.gcs.flowcontrol import TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_passes_without_delay(self):
+        bucket = TokenBucket(rate=100.0, burst=5)
+        delays = [bucket.reserve(0.0) for _ in range(5)]
+        assert delays == [0.0] * 5
+
+    def test_beyond_burst_delays(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.reserve(0.0)
+        bucket.reserve(0.0)
+        delay = bucket.reserve(0.0)
+        assert delay == pytest.approx(0.01)
+
+    def test_consecutive_overflows_queue_behind_each_other(self):
+        bucket = TokenBucket(rate=100.0, burst=1)
+        bucket.reserve(0.0)
+        first = bucket.reserve(0.0)
+        second = bucket.reserve(0.0)
+        assert second > first
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        bucket.reserve(0.0)
+        assert bucket.reserve(0.05) > 0.0  # not yet refilled
+        assert bucket.reserve(10.0) == 0.0  # fully refilled
+
+    def test_tokens_capped_at_burst(self):
+        bucket = TokenBucket(rate=1000.0, burst=3)
+        assert bucket.available(100.0) == pytest.approx(3.0)
+
+    def test_stats(self):
+        bucket = TokenBucket(rate=100.0, burst=1)
+        bucket.reserve(0.0)
+        bucket.reserve(0.0)
+        assert bucket.stats == {"passed": 1, "delayed": 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)

@@ -1,0 +1,268 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core.kernel import (
+    MS,
+    Entity,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    drain,
+)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, order.append, "c")
+        sim.schedule(0.1, order.append, "a")
+        sim.schedule(0.2, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(0.5, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.25]
+        assert sim.now == 1.25
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.1, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_zero_delay_runs_after_queued_events_at_same_instant(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, order.append, "early")
+
+        def schedule_more():
+            sim.schedule(0.0, order.append, "late")
+
+        sim.schedule(0.0, schedule_more)
+        sim.run()
+        assert order == ["early", "late"]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        count = []
+        for _ in range(10):
+            sim.schedule(0.1, count.append, 1)
+        sim.run(max_events=4)
+        assert len(count) == 4
+
+    def test_stop_halts_after_current_event(self):
+        sim = Simulator()
+        order = []
+
+        def stopper():
+            order.append("stop")
+            sim.stop()
+
+        sim.schedule(0.1, stopper)
+        sim.schedule(0.2, order.append, "never")
+        sim.run()
+        assert order == ["stop"]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(0.0, recurse)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestProcesses:
+    def test_sleep_yields_advance_time(self):
+        sim = Simulator()
+        wakes = []
+
+        def proc():
+            yield 1.0
+            wakes.append(sim.now)
+            yield 0.5
+            wakes.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert wakes == [1.0, 1.5]
+
+    def test_process_result_and_done(self):
+        sim = Simulator()
+
+        def proc():
+            yield 0.1
+            return 42
+
+        p = sim.process(proc())
+        assert not p.done
+        sim.run()
+        assert p.done
+        assert p.result == 42
+
+    def test_wait_on_signal_receives_value(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append((sim.now, value))
+
+        sim.process(proc())
+        sim.schedule(2.0, signal.fire, "payload")
+        sim.run()
+        assert got == [(2.0, "payload")]
+
+    def test_latched_signal_releases_late_waiter(self):
+        sim = Simulator()
+        signal = Signal(sim, latch=True)
+        signal.fire("early")
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["early"]
+
+    def test_unlatched_signal_does_not_release_late_waiter(self):
+        sim = Simulator()
+        signal = Signal(sim)
+        signal.fire("gone")
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert got == []
+
+    def test_wait_on_other_process(self):
+        sim = Simulator()
+        order = []
+
+        def child():
+            yield 1.0
+            order.append("child")
+            return "result"
+
+        def parent():
+            value = yield sim.process(child(), name="child")
+            order.append(("parent", value))
+
+        sim.process(parent())
+        sim.run()
+        assert order == ["child", ("parent", "result")]
+
+    def test_unsupported_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_terminates_process(self):
+        sim = Simulator()
+        cleaned = []
+
+        def proc():
+            try:
+                yield 100.0
+            finally:
+                cleaned.append(True)
+
+        p = sim.process(proc())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert p.done
+        assert cleaned == [True]
+
+    def test_drain_raises_on_unfinished(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        p = sim.process(proc())
+        with pytest.raises(SimulationError):
+            drain(sim, [p], until=1.0)
+
+
+class TestEntity:
+    def test_entity_schedules_through_simulator(self):
+        sim = Simulator()
+        entity = Entity(sim, "thing")
+        fired = []
+        entity.schedule(0.5, fired.append, entity.name)
+        sim.run()
+        assert fired == ["thing"]
+        assert entity.now == 0.5
+
+    def test_ms_constant(self):
+        assert MS == pytest.approx(1e-3)

@@ -1,0 +1,91 @@
+"""Unit tests for GCS wire formats."""
+
+import pytest
+
+from repro.gcs.messages import (
+    DataMsg,
+    DecideMsg,
+    FlushAckMsg,
+    HeartbeatMsg,
+    MarshalError,
+    NackMsg,
+    ProposeMsg,
+    SequenceMsg,
+    StabilityMsg,
+    marshal,
+    unmarshal,
+)
+
+ROUNDTRIP_CASES = [
+    DataMsg(sender=3, view_id=7, seq=42, payload=b"hello world"),
+    DataMsg(sender=0, view_id=1, seq=1, payload=b"", retransmit=True),
+    NackMsg(sender=1, view_id=2, origin=0, missing=(4, 5, 9)),
+    NackMsg(sender=1, view_id=2, origin=3, missing=()),
+    SequenceMsg(sender=0, view_id=1, assignments=((1, 2, 1), (2, 0, 7))),
+    SequenceMsg(sender=0, view_id=1, assignments=()),
+    StabilityMsg(
+        sender=2,
+        view_id=1,
+        round_id=9,
+        stable=(10, 20, 30),
+        voted=(0, 2),
+        mins=(11, 21, 31),
+    ),
+    HeartbeatMsg(sender=5, view_id=3),
+    ProposeMsg(sender=0, view_id=4, members=(0, 1)),
+    FlushAckMsg(
+        sender=1,
+        view_id=4,
+        contiguous=((0, 10), (1, 5)),
+        assignments=((3, 1, 2),),
+    ),
+    DecideMsg(
+        sender=0,
+        view_id=4,
+        members=(0, 1),
+        targets=((0, 10), (1, 7)),
+        assignments=((1, 0, 1), (2, 1, 1)),
+    ),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("msg", ROUNDTRIP_CASES, ids=lambda m: type(m).__name__)
+    def test_marshal_unmarshal_identity(self, msg):
+        assert unmarshal(marshal(msg)) == msg
+
+    def test_payload_bytes_preserved(self):
+        payload = bytes(range(256)) * 8
+        msg = DataMsg(1, 1, 1, payload)
+        assert unmarshal(marshal(msg)).payload == payload
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(MarshalError):
+            unmarshal(b"\x01")
+
+    def test_truncated_data_payload(self):
+        wire = marshal(DataMsg(1, 1, 1, b"x" * 100))
+        with pytest.raises(MarshalError):
+            unmarshal(wire[:20])
+
+    def test_unknown_type(self):
+        wire = bytes([99]) + marshal(HeartbeatMsg(1, 1))[1:]
+        with pytest.raises(MarshalError):
+            unmarshal(wire)
+
+    def test_truncated_vector(self):
+        wire = marshal(NackMsg(1, 1, 0, (1, 2, 3)))
+        with pytest.raises(MarshalError):
+            unmarshal(wire[:-8])
+
+
+class TestSizes:
+    def test_heartbeat_is_tiny(self):
+        assert len(marshal(HeartbeatMsg(1, 1))) < 16
+
+    def test_data_overhead_is_small(self):
+        payload = b"y" * 1000
+        wire = marshal(DataMsg(1, 1, 1, payload))
+        assert len(wire) - len(payload) < 32

@@ -1,0 +1,136 @@
+"""Unit tests for metrics: records, statistics, distributions, sampling."""
+
+import pytest
+
+from repro.core.cpu import CpuPool, Job, SIM_JOB
+from repro.core.kernel import Simulator
+from repro.core.metrics import (
+    MetricsCollector,
+    ResourceSampler,
+    TxRecord,
+    ecdf,
+    qq_points,
+    quantiles,
+)
+
+
+def record(tx_id=1, tx_class="neworder", outcome="commit", submit=0.0, end=1.0,
+           site="site0", readonly=False, cert=0.0):
+    return TxRecord(
+        tx_id=tx_id,
+        tx_class=tx_class,
+        site=site,
+        submit_time=submit,
+        end_time=end,
+        outcome=outcome,
+        readonly=readonly,
+        certification_latency=cert,
+    )
+
+
+class TestCollector:
+    def test_throughput_tpm(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            collector.record(record(tx_id=i, submit=0.0, end=60.0))
+        assert collector.throughput_tpm() == pytest.approx(10.0)
+
+    def test_aborts_do_not_count_toward_throughput(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, outcome="commit", end=60.0))
+        collector.record(record(tx_id=2, outcome="abort", end=60.0))
+        assert collector.throughput_tpm() == pytest.approx(1.0)
+
+    def test_abort_rate_per_class(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, tx_class="payment-long", outcome="abort"))
+        collector.record(record(tx_id=2, tx_class="payment-long"))
+        collector.record(record(tx_id=3, tx_class="neworder"))
+        assert collector.abort_rate("payment-long") == pytest.approx(50.0)
+        assert collector.abort_rate("neworder") == 0.0
+        assert collector.abort_rate() == pytest.approx(100.0 / 3.0)
+
+    def test_abort_rate_table_includes_all_row(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, tx_class="a", outcome="abort"))
+        collector.record(record(tx_id=2, tx_class="b"))
+        table = collector.abort_rate_table()
+        assert set(table) == {"a", "b", "All"}
+        assert table["All"] == pytest.approx(50.0)
+
+    def test_latency_selection(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, submit=0.0, end=0.5))
+        collector.record(record(tx_id=2, submit=0.0, end=1.5, outcome="abort"))
+        assert collector.latencies() == [0.5]
+        assert collector.mean_latency() == pytest.approx(0.5)
+
+    def test_certification_latencies(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, cert=0.02))
+        collector.record(record(tx_id=2, readonly=True, cert=0.0))
+        assert collector.certification_latencies() == [0.02]
+
+    def test_select_by_site_and_predicate(self):
+        collector = MetricsCollector()
+        collector.record(record(tx_id=1, site="site0"))
+        collector.record(record(tx_id=2, site="site1"))
+        assert len(collector.select(site="site1")) == 1
+        assert len(collector.select(predicate=lambda r: r.tx_id == 1)) == 1
+
+
+class TestDistributions:
+    def test_ecdf_monotone(self):
+        xs, ys = ecdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ys == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_quantiles_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        q = quantiles(values, [0.0, 0.5, 1.0])
+        assert q[0] == 1.0
+        assert q[1] == pytest.approx(2.5)
+        assert q[2] == 4.0
+
+    def test_quantiles_invalid_prob(self):
+        with pytest.raises(ValueError):
+            quantiles([1.0], [1.5])
+
+    def test_qq_points_identical_samples_on_diagonal(self):
+        sample = [float(i) for i in range(100)]
+        for qa, qb in qq_points(sample, sample, points=10):
+            assert qa == pytest.approx(qb)
+
+    def test_qq_points_shifted_sample_off_diagonal(self):
+        a = [float(i) for i in range(100)]
+        b = [float(i) + 5.0 for i in range(100)]
+        for qa, qb in qq_points(a, b, points=10):
+            assert qb - qa == pytest.approx(5.0)
+
+
+class TestResourceSampler:
+    def test_interval_cpu_usage(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 1)
+        sampler = ResourceSampler(sim, interval=1.0, cpu_pools=[pool])
+        sampler.start()
+        # busy exactly during [0, 0.5] of the first interval
+        pool.submit(Job(SIM_JOB, duration=0.5))
+        sim.run(until=3.0)
+        assert sampler.samples[0].cpu_total == pytest.approx(0.5)
+        assert sampler.samples[1].cpu_total == pytest.approx(0.0)
+
+    def test_steady_window_trims_edges(self):
+        sim = Simulator()
+        pool = CpuPool(sim, 1)
+        sampler = ResourceSampler(sim, interval=1.0, cpu_pools=[pool])
+        sampler.start()
+        # busy only in the middle of the run
+        sim.schedule(4.0, pool.submit, Job(SIM_JOB, duration=2.0))
+        sim.run(until=10.0)
+        total, real = sampler.mean_cpu()
+        assert total > 0.2  # the busy middle dominates after trimming
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(Simulator(), interval=0.0)

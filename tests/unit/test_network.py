@@ -1,0 +1,207 @@
+"""Unit tests for the network fabric: links, routing, multicast, WAN."""
+
+import pytest
+
+from repro.core.kernel import Simulator
+from repro.net.address import Endpoint, GroupAddress
+from repro.net.capture import PacketCapture
+from repro.net.link import RateLimitedLink, WIRE_OVERHEAD_BYTES
+from repro.net.network import FRAGMENT_OVERHEAD_BYTES, Network
+from repro.net.udp import UdpSocket
+
+
+class TestRateLimitedLink:
+    def test_transmission_time_includes_framing(self):
+        sim = Simulator()
+        link = RateLimitedLink(sim, "l", bandwidth_bps=100e6, latency=0.0)
+        expected = (1000 + WIRE_OVERHEAD_BYTES) * 8 / 100e6
+        assert link.transmission_time(1000) == pytest.approx(expected)
+
+    def test_packets_serialize_back_to_back(self):
+        sim = Simulator()
+        link = RateLimitedLink(sim, "l", bandwidth_bps=1e6, latency=0.0)
+        arrivals = []
+        for _ in range(3):
+            link.deliver(83, lambda: arrivals.append(sim.now))  # 1 ms each
+        sim.run()
+        assert arrivals == pytest.approx([0.001, 0.002, 0.003])
+
+    def test_latency_added_after_serialization(self):
+        sim = Simulator()
+        link = RateLimitedLink(sim, "l", bandwidth_bps=1e6, latency=0.5)
+        arrivals = []
+        link.deliver(83, lambda: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals[0] == pytest.approx(0.501)
+
+    def test_tail_drop_when_queue_full(self):
+        sim = Simulator()
+        link = RateLimitedLink(sim, "l", bandwidth_bps=1e3, queue_bytes=100)
+        accepted = [link.deliver(60, lambda: None) for _ in range(3)]
+        assert accepted == [True, True, False]
+        assert link.stats.packets_dropped == 1
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        link = RateLimitedLink(sim, "l", bandwidth_bps=1e6)
+        link.deliver(100, lambda: None)
+        sim.run()
+        assert link.stats.packets_sent == 1
+        assert link.stats.bytes_sent == 100 + WIRE_OVERHEAD_BYTES
+        assert link.stats.busy_time > 0
+
+
+class TestRouting:
+    def make_net(self, **kwargs):
+        sim = Simulator()
+        net = Network(sim, **kwargs)
+        hosts = [net.add_host(f"h{i}") for i in range(3)]
+        socks = [UdpSocket(h, 5) for h in hosts]
+        inbox = {i: [] for i in range(3)}
+        for i, sock in enumerate(socks):
+            sock.set_receiver(
+                lambda src, p, i=i: inbox[i].append((sim.now, str(src), p))
+            )
+        return sim, net, socks, inbox
+
+    def test_unicast_delivery(self):
+        sim, net, socks, inbox = self.make_net()
+        socks[0].send(Endpoint("h1", 5), b"hello")
+        sim.run()
+        assert len(inbox[1]) == 1
+        assert inbox[1][0][2] == b"hello"
+        assert inbox[2] == []
+
+    def test_unicast_to_unknown_host_dropped(self):
+        sim, net, socks, inbox = self.make_net()
+        socks[0].send(Endpoint("nowhere", 5), b"x")
+        sim.run()
+        assert all(not msgs for msgs in inbox.values())
+
+    def test_multicast_reaches_members_not_sender(self):
+        sim, net, socks, inbox = self.make_net()
+        group = GroupAddress("g", 5)
+        for sock in socks:
+            sock.join(group)
+        socks[0].send(group, b"mc")
+        sim.run()
+        assert inbox[0] == []  # no loopback by default
+        assert len(inbox[1]) == 1 and len(inbox[2]) == 1
+
+    def test_multicast_consumes_one_egress_copy(self):
+        sim, net, socks, inbox = self.make_net()
+        group = GroupAddress("g", 5)
+        for sock in socks:
+            sock.join(group)
+        socks[0].send(group, b"mc")
+        sim.run()
+        assert net.hosts["h0"].egress.stats.packets_sent == 1
+
+    def test_send_to_explicit_list(self):
+        sim, net, socks, inbox = self.make_net()
+        socks[0].send([Endpoint("h1", 5), Endpoint("h2", 5)], b"uni")
+        sim.run()
+        assert len(inbox[1]) == 1 and len(inbox[2]) == 1
+        assert net.hosts["h0"].egress.stats.packets_sent == 2
+
+    def test_local_delivery_bypasses_links(self):
+        sim, net, socks, inbox = self.make_net()
+        socks[0].send(Endpoint("h0", 5), b"self")
+        sim.run()
+        assert len(inbox[0]) == 1
+        assert net.hosts["h0"].egress.stats.packets_sent == 0
+
+    def test_leave_group_stops_delivery(self):
+        sim, net, socks, inbox = self.make_net()
+        group = GroupAddress("g", 5)
+        for sock in socks:
+            sock.join(group)
+        socks[2].leave(group)
+        socks[0].send(group, b"mc")
+        sim.run()
+        assert inbox[2] == []
+
+
+class TestWireSize:
+    def test_below_mtu_unchanged(self):
+        net = Network(Simulator(), mtu=1500)
+        assert net.wire_size(1000) == 1000
+
+    def test_fragmentation_overhead(self):
+        net = Network(Simulator(), mtu=1500)
+        assert net.wire_size(3000) == 3000 + FRAGMENT_OVERHEAD_BYTES
+
+    def test_mtu_not_enforced_reproduces_ssfnet(self):
+        net = Network(Simulator(), mtu=1500, enforce_mtu=False)
+        assert net.wire_size(9000) == 9000
+
+
+class TestWan:
+    def test_wan_latency_between_segments(self):
+        sim = Simulator()
+        net = Network(sim, default_link_latency=0.0, switch_latency=0.0)
+        net.add_host("a", segment="east")
+        net.add_host("b", segment="west")
+        net.set_wan_latency("east", "west", 0.040)
+        sa = UdpSocket(net.hosts["a"], 1)
+        sb = UdpSocket(net.hosts["b"], 1)
+        arrival = []
+        sb.set_receiver(lambda src, p: arrival.append(sim.now))
+        sa.send(Endpoint("b", 1), b"x")
+        sim.run()
+        assert arrival[0] >= 0.040
+
+    def test_multicast_capability_per_segment(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("a", segment="east")
+        net.add_host("b", segment="east")
+        net.add_host("c", segment="west")
+        group = GroupAddress("g", 1)
+        net.join(group, "a")
+        net.join(group, "b")
+        assert net.multicast_capable("a", group)
+        net.join(group, "c")
+        assert not net.multicast_capable("a", group)
+
+    def test_negative_wan_latency_rejected(self):
+        net = Network(Simulator())
+        with pytest.raises(ValueError):
+            net.set_wan_latency("x", "y", -1.0)
+
+
+class TestCaptureIntegration:
+    def test_capture_records_traffic(self):
+        sim = Simulator()
+        capture = PacketCapture()
+        net = Network(sim, capture=capture)
+        net.add_host("a")
+        net.add_host("b")
+        sa = UdpSocket(net.hosts["a"], 1)
+        UdpSocket(net.hosts["b"], 1)
+        sa.send(Endpoint("b", 1), b"x" * 100)
+        sim.run()
+        assert capture.total_packets == 1
+        assert capture.total_bytes == 100
+
+
+class TestUdpSocket:
+    def test_double_bind_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("a")
+        UdpSocket(host, 1)
+        with pytest.raises(ValueError):
+            UdpSocket(host, 1)
+
+    def test_closed_socket_rejects_send_and_ignores_receive(self):
+        sim = Simulator()
+        net = Network(sim)
+        host = net.add_host("a")
+        net.add_host("b")
+        sock = UdpSocket(host, 1)
+        sock.close()
+        with pytest.raises(RuntimeError):
+            sock.send(Endpoint("b", 1), b"x")
+        # port freed: can rebind
+        UdpSocket(host, 1)

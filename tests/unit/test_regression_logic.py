@@ -1,0 +1,87 @@
+"""Unit tests for the regression-comparison logic (no scenario runs)."""
+
+import pytest
+
+from repro.core.regression import (
+    DEFAULT_TOLERANCES,
+    Regression,
+    RegressionSuite,
+    ScenarioBaseline,
+)
+from repro.core.experiment import ScenarioConfig
+
+
+def suite(**kwargs):
+    return RegressionSuite(
+        {"s": ScenarioConfig(sites=1, clients=5, transactions=10)}, **kwargs
+    )
+
+
+def baseline(**metrics):
+    values = {
+        "throughput_tpm": 1000.0,
+        "mean_latency": 0.050,
+        "abort_rate": 3.0,
+        "cert_p99": 0.010,
+        "protocol_cpu": 0.01,
+    }
+    values.update(metrics)
+    return ScenarioBaseline(name="s", metrics=values, completed=100)
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        findings = suite()._compare("s", baseline(), baseline())
+        assert findings == []
+
+    def test_lower_throughput_is_regression(self):
+        findings = suite()._compare(
+            "s", baseline(), baseline(throughput_tpm=800.0)
+        )
+        assert [f.metric for f in findings] == ["throughput_tpm"]
+
+    def test_higher_throughput_is_not(self):
+        findings = suite()._compare(
+            "s", baseline(), baseline(throughput_tpm=1500.0)
+        )
+        assert findings == []
+
+    def test_higher_latency_is_regression(self):
+        findings = suite()._compare(
+            "s", baseline(), baseline(mean_latency=0.080)
+        )
+        assert [f.metric for f in findings] == ["mean_latency"]
+
+    def test_lower_latency_is_not(self):
+        findings = suite()._compare(
+            "s", baseline(), baseline(mean_latency=0.020)
+        )
+        assert findings == []
+
+    def test_within_tolerance_is_clean(self):
+        wiggle = baseline(
+            throughput_tpm=1000.0 * (1 - DEFAULT_TOLERANCES["throughput_tpm"] / 2)
+        )
+        assert suite()._compare("s", baseline(), wiggle) == []
+
+    def test_absolute_floor_suppresses_noise_near_zero(self):
+        quiet = baseline(abort_rate=0.0, cert_p99=0.0)
+        noisy = baseline(abort_rate=0.3, cert_p99=0.001)
+        assert suite()._compare("s", quiet, noisy) == []
+
+    def test_missing_metric_skipped(self):
+        partial = ScenarioBaseline(
+            name="s", metrics={"throughput_tpm": 1000.0}, completed=100
+        )
+        assert suite()._compare("s", partial, baseline()) == []
+
+
+class TestSerialization:
+    def test_baseline_roundtrip(self):
+        original = baseline()
+        restored = ScenarioBaseline.from_json(original.to_json())
+        assert restored == original
+
+    def test_regression_repr(self):
+        finding = Regression("s", "abort_rate", 3.0, 9.0, "performance")
+        assert "abort_rate" in str(finding)

@@ -1,0 +1,73 @@
+"""Unit tests for commit logs and the off-line safety checker (§5.3)."""
+
+import pytest
+
+from repro.core.safety import CommitLog, SafetyViolation, check_consistency
+
+
+def log(site, entries, crashed=False):
+    commit_log = CommitLog(site=site, crashed=crashed)
+    for seq, tx in entries:
+        commit_log.append(seq, tx)
+    return commit_log
+
+
+class TestCommitLog:
+    def test_append_and_sequence(self):
+        commit_log = log("s0", [(1, 10), (2, 11)])
+        assert commit_log.sequence() == ((1, 10), (2, 11))
+
+    def test_non_monotonic_append_rejected(self):
+        commit_log = log("s0", [(2, 10)])
+        with pytest.raises(SafetyViolation):
+            commit_log.append(2, 11)
+        with pytest.raises(SafetyViolation):
+            commit_log.append(1, 12)
+
+
+class TestChecker:
+    def test_identical_logs_pass(self):
+        logs = [log(f"s{i}", [(1, 10), (2, 11)]) for i in range(3)]
+        counts = check_consistency(logs)
+        assert counts == {"s0": 2, "s1": 2, "s2": 2}
+
+    def test_divergent_entry_detected(self):
+        logs = [
+            log("s0", [(1, 10), (2, 11)]),
+            log("s1", [(1, 10), (2, 99)]),
+        ]
+        with pytest.raises(SafetyViolation, match="different"):
+            check_consistency(logs)
+
+    def test_length_mismatch_detected(self):
+        logs = [
+            log("s0", [(1, 10), (2, 11)]),
+            log("s1", [(1, 10)]),
+        ]
+        with pytest.raises(SafetyViolation):
+            check_consistency(logs)
+
+    def test_crashed_prefix_allowed(self):
+        logs = [
+            log("s0", [(1, 10), (2, 11), (3, 12)]),
+            log("s1", [(1, 10), (2, 11), (3, 12)]),
+            log("s2", [(1, 10)], crashed=True),
+        ]
+        counts = check_consistency(logs)
+        assert counts["s2"] == 1
+
+    def test_crashed_divergence_detected(self):
+        logs = [
+            log("s0", [(1, 10), (2, 11)]),
+            log("s1", [(1, 10), (2, 11)]),
+            log("s2", [(1, 99)], crashed=True),
+        ]
+        with pytest.raises(SafetyViolation, match="prefix"):
+            check_consistency(logs)
+
+    def test_all_crashed_is_vacuous(self):
+        logs = [log("s0", [(1, 1)], crashed=True)]
+        assert check_consistency(logs) == {"s0": 1}
+
+    def test_empty_input(self):
+        assert check_consistency([]) == {}

@@ -1,0 +1,116 @@
+"""Unit tests for the canonical scenario presets."""
+
+import os
+
+import pytest
+
+from repro.core.faults import FaultPlan
+from repro.core.scenarios import (
+    CLIENT_LEVELS,
+    PAPER_TRANSACTIONS,
+    SYSTEM_CONFIGS,
+    fault_config,
+    performance_config,
+    prototype_gcs_config,
+    safety_fault_plans,
+    scale,
+    scaled_transactions,
+)
+
+
+class TestGrid:
+    def test_system_configs_match_paper(self):
+        labels = [label for label, _, _ in SYSTEM_CONFIGS]
+        assert labels == ["1 CPU", "3 CPU", "6 CPU", "3 Sites", "6 Sites"]
+        # centralized ones are single-site; replicated are single-CPU
+        for label, sites, cpus in SYSTEM_CONFIGS:
+            if "Sites" in label:
+                assert cpus == 1 and sites > 1
+            else:
+                assert sites == 1
+
+    def test_client_levels_span_paper_range(self):
+        assert CLIENT_LEVELS[0] == 100
+        assert CLIENT_LEVELS[-1] == 2000
+
+    def test_performance_config(self):
+        config = performance_config(3, 1, 750, transactions=500)
+        assert config.sites == 3
+        assert config.clients == 750
+        assert config.transactions == 500
+
+
+class TestScale:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert scale() == 1.0
+        assert scaled_transactions() == PAPER_TRANSACTIONS
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert scaled_transactions() == 1000
+
+    def test_scale_bounds_and_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "99")
+        assert scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        assert scale() == 0.3
+
+    def test_scaled_transactions_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert scaled_transactions() >= 300
+
+
+class TestFaultConfigs:
+    def test_fault_kinds(self):
+        for kind, attr in (
+            ("random", "random_loss_rate"),
+            ("bursty", "bursty_loss_rate"),
+        ):
+            config = fault_config(kind, transactions=100)
+            assert len(config.faults) == 3  # injected at every site
+            for plan in config.faults.values():
+                assert getattr(plan, attr) == pytest.approx(0.05)
+
+    def test_none_kind_has_no_faults(self):
+        assert fault_config("none", transactions=100).faults == {}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            fault_config("meteor")
+
+    def test_prototype_gcs_used_by_default(self):
+        config = fault_config("random", transactions=100)
+        proto = prototype_gcs_config()
+        assert config.gcs.buffer_share == proto.buffer_share
+        assert config.gcs.nack_timeout == proto.nack_timeout
+
+    def test_gcs_override_respected(self):
+        from repro.gcs.config import GcsConfig
+
+        custom = GcsConfig(buffer_share=7)
+        config = fault_config("random", transactions=100, gcs=custom)
+        assert config.gcs.buffer_share == 7
+
+    def test_safety_matrix_covers_all_five_fault_types(self):
+        plans = safety_fault_plans()
+        assert set(plans) == {
+            "clock-drift",
+            "scheduling-latency",
+            "random-loss",
+            "bursty-loss",
+            "crash-member",
+            "crash-sequencer",
+        }
+        assert plans["crash-sequencer"][0].crash_at is not None
+        assert plans["clock-drift"][1].clock_drift_rate > 0
+
+
+class TestScenarioConfigValidation:
+    def test_invalid_configs_rejected(self):
+        from repro.core.experiment import ScenarioConfig
+
+        with pytest.raises(ValueError):
+            ScenarioConfig(sites=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(clients=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(transactions=0)

@@ -1,0 +1,79 @@
+"""Unit tests for the TPC-C schema layout."""
+
+import pytest
+
+from repro.db.tuples import row_of, table_of
+from repro.tpcc import schema
+
+
+class TestLayout:
+    def test_distinct_tables_distinct_prefixes(self):
+        layout = schema.TpccLayout(2)
+        ids = [
+            layout.warehouse(0),
+            layout.district(0, 0),
+            layout.customer(0, 0, 0),
+            layout.stock(0, 0),
+            layout.item(0),
+        ]
+        assert len({table_of(i) for i in ids}) == len(ids)
+
+    def test_keyed_rows_unique_within_table(self):
+        layout = schema.TpccLayout(3)
+        customers = {
+            layout.customer(w, d, c)
+            for w in range(3)
+            for d in range(10)
+            for c in range(5)
+        }
+        assert len(customers) == 3 * 10 * 5
+
+    def test_bounds_checked(self):
+        layout = schema.TpccLayout(2)
+        with pytest.raises(ValueError):
+            layout.warehouse(2)
+        with pytest.raises(ValueError):
+            layout.district(0, 10)
+        with pytest.raises(ValueError):
+            layout.customer(0, 0, schema.CUSTOMERS_PER_DISTRICT)
+        with pytest.raises(ValueError):
+            layout.stock(0, schema.ITEM_COUNT)
+
+    def test_fresh_rows_striped_across_sites(self):
+        a = schema.TpccLayout(1, site_index=0, site_count=3)
+        b = schema.TpccLayout(1, site_index=1, site_count=3)
+        rows_a = {row_of(a.fresh_row(schema.ORDER)) for _ in range(100)}
+        rows_b = {row_of(b.fresh_row(schema.ORDER)) for _ in range(100)}
+        assert not rows_a & rows_b
+
+    def test_fresh_rows_monotone_unique(self):
+        layout = schema.TpccLayout(1)
+        ids = [layout.fresh_row(schema.HISTORY) for _ in range(50)]
+        assert len(set(ids)) == 50
+
+    def test_site_index_validated(self):
+        with pytest.raises(ValueError):
+            schema.TpccLayout(1, site_index=3, site_count=3)
+
+    def test_approx_tuple_count_scales(self):
+        small = schema.TpccLayout(1).approx_tuple_count()
+        large = schema.TpccLayout(200).approx_tuple_count()
+        assert large > 100 * small
+        # paper: >1e9 tuples at 2000 clients (200 warehouses) — our static
+        # count is dominated by stock (1e5/warehouse): 2.6e7; the 1e9
+        # figure includes history growth, so just check the right order
+        # for the static part.
+        assert large > 2e7
+
+
+class TestScaling:
+    def test_warehouses_for_clients(self):
+        assert schema.warehouses_for_clients(1) == 1
+        assert schema.warehouses_for_clients(10) == 1
+        assert schema.warehouses_for_clients(11) == 2
+        assert schema.warehouses_for_clients(2000) == 200
+
+    def test_row_sizes_in_paper_range(self):
+        sizes = [t.row_bytes for t in schema.TABLES.values()]
+        assert min(sizes) == 8
+        assert max(sizes) == 655

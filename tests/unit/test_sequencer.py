@@ -1,0 +1,77 @@
+"""Unit tests for fixed-sequencer total order."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import make_group
+
+from repro.core.faults import random_loss
+from repro.gcs.config import GcsConfig
+
+
+class TestTotalOrder:
+    def test_identical_delivery_order_at_all_members(self):
+        harness = make_group(3)
+        harness.start()
+        # interleaved sends from all members
+        for i in range(10):
+            sender = harness.stacks[i % 3]
+            harness.sim.schedule(
+                0.005 * (i + 1), sender.multicast, b"m%d" % i
+            )
+        harness.sim.run(until=2.0)
+        sequences = harness.sequences()
+        assert all(len(seq) == 10 for seq in sequences)
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_global_sequence_is_gapless(self):
+        harness = make_group(3)
+        harness.start()
+        for i in range(8):
+            harness.stacks[i % 3].multicast(b"x%d" % i)
+        harness.sim.run(until=2.0)
+        globals_seen = [g for g, _ in harness.sequences()[0]]
+        assert globals_seen == list(range(1, 9))
+
+    def test_order_holds_under_loss(self):
+        config = GcsConfig(nack_timeout=0.01, stability_interval=0.02)
+        harness = make_group(
+            3,
+            config=config,
+            fault_plans={i: random_loss(0.15, seed=20 + i) for i in range(3)},
+        )
+        harness.start()
+        for i in range(30):
+            harness.sim.schedule(
+                0.01 * (i + 1), harness.stacks[i % 3].multicast, b"l%d" % i
+            )
+        harness.sim.run(until=10.0)
+        sequences = harness.sequences()
+        assert all(len(seq) == 30 for seq in sequences)
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_sequencer_is_lowest_member(self):
+        harness = make_group(3)
+        assert harness.stacks[0].is_sequencer
+        assert not harness.stacks[1].is_sequencer
+
+    def test_sequence_messages_are_batched(self):
+        config = GcsConfig(sequence_batch_interval=0.050)
+        harness = make_group(2, config=config)
+        harness.start()
+        # burst of sends inside one batching window
+        for i in range(10):
+            harness.stacks[1].multicast(b"b%d" % i)
+        harness.sim.run(until=2.0)
+        to = harness.stacks[0].total_order
+        assert to.stats["sequence_msgs"] <= 3  # far fewer than 10
+
+    def test_conflicting_assignment_detected(self):
+        harness = make_group(2)
+        to = harness.stacks[1].total_order
+        to._record_assignment(1, 0, 1)
+        with pytest.raises(AssertionError):
+            to._record_assignment(1, 0, 2)

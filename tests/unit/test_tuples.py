@@ -1,0 +1,60 @@
+"""Unit tests for 64-bit tuple identifiers and table-lock coverage."""
+
+import pytest
+
+from repro.db.tuples import (
+    ROW_BITS,
+    covers,
+    is_table_lock,
+    make_tuple_id,
+    row_of,
+    table_lock_id,
+    table_of,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        tid = make_tuple_id(9, 123456)
+        assert table_of(tid) == 9
+        assert row_of(tid) == 123456
+
+    def test_table_in_high_bits(self):
+        assert make_tuple_id(2, 1) > make_tuple_id(1, (1 << ROW_BITS) - 1)
+
+    def test_table_lock_sorts_before_tuples_of_its_table(self):
+        assert table_lock_id(5) < make_tuple_id(5, 1)
+
+    def test_row_zero_reserved(self):
+        with pytest.raises(ValueError):
+            make_tuple_id(1, 0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            make_tuple_id(0, 1)
+        with pytest.raises(ValueError):
+            make_tuple_id(1 << 16, 1)
+        with pytest.raises(ValueError):
+            make_tuple_id(1, 1 << ROW_BITS)
+        with pytest.raises(ValueError):
+            table_lock_id(0)
+
+
+class TestTableLocks:
+    def test_is_table_lock(self):
+        assert is_table_lock(table_lock_id(3))
+        assert not is_table_lock(make_tuple_id(3, 1))
+
+    def test_table_lock_covers_all_rows_of_table(self):
+        lock = table_lock_id(4)
+        assert covers(lock, make_tuple_id(4, 1))
+        assert covers(lock, make_tuple_id(4, 999))
+        assert covers(lock, lock)
+
+    def test_table_lock_does_not_cover_other_tables(self):
+        assert not covers(table_lock_id(4), make_tuple_id(5, 1))
+
+    def test_plain_id_covers_only_itself(self):
+        a = make_tuple_id(4, 7)
+        assert covers(a, a)
+        assert not covers(a, make_tuple_id(4, 8))

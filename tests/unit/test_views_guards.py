@@ -1,0 +1,70 @@
+"""Unit tests for view-manager guards against stale/foreign messages."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import make_group
+
+from repro.gcs.messages import DecideMsg, ProposeMsg
+
+
+class TestStaleMessageGuards:
+    def test_stale_propose_ignored(self):
+        harness = make_group(3)
+        harness.start()
+        views = harness.stacks[1].views
+        views.handle_propose(ProposeMsg(sender=0, view_id=1, members=(0, 1)))
+        harness.sim.run(until=0.5)
+        assert views.view_id == 1
+        assert views.state == views.STABLE
+
+    def test_stale_decide_ignored(self):
+        harness = make_group(3)
+        harness.start()
+        views = harness.stacks[1].views
+        views.handle_decide(
+            DecideMsg(sender=0, view_id=1, members=(0, 1), targets=(), assignments=())
+        )
+        harness.sim.run(until=0.5)
+        assert views.view_id == 1
+        assert views.members == (0, 1, 2)
+
+    def test_propose_excluding_self_ignored(self):
+        harness = make_group(3)
+        harness.start()
+        views = harness.stacks[2].views
+        views.handle_propose(ProposeMsg(sender=0, view_id=2, members=(0, 1)))
+        harness.sim.run(until=0.5)
+        # member 2 is excluded: it does not freeze or answer
+        assert views.state == views.STABLE
+        assert not harness.stacks[2].reliable._frozen
+
+    def test_decide_for_other_membership_ignored(self):
+        harness = make_group(3)
+        harness.start()
+        views = harness.stacks[2].views
+        views.handle_decide(
+            DecideMsg(sender=0, view_id=2, members=(0, 1), targets=(), assignments=())
+        )
+        harness.sim.run(until=0.5)
+        assert views.view_id == 1
+
+    def test_alive_members_reflects_recent_traffic(self):
+        harness = make_group(3)
+        harness.start()
+        harness.sim.run(until=1.0)
+        for stack in harness.stacks:
+            assert set(stack.views.alive_members()) == {0, 1, 2}
+
+
+class TestFlushAckContents:
+    def test_own_ack_reports_contiguous_and_assignments(self):
+        harness = make_group(2)
+        harness.start()
+        harness.stacks[0].multicast(b"payload")
+        harness.sim.run(until=0.5)
+        ack = harness.stacks[1].views._own_ack(proposed_view=2)
+        contiguous = dict(ack.contiguous)
+        assert contiguous[0] >= 1  # received member 0's DATA
+        assert any(origin == 0 for _, origin, _ in ack.assignments)

@@ -1,0 +1,100 @@
+"""Unit tests for receive windows and the shared buffer pool."""
+
+import pytest
+
+from repro.gcs.window import BufferPool, ReceiveWindow
+
+
+class TestReceiveWindow:
+    def test_in_order_advances_contiguous(self):
+        window = ReceiveWindow()
+        for seq in (1, 2, 3):
+            assert window.receive(seq)
+        assert window.contiguous == 3
+        assert window.gaps() == []
+
+    def test_out_of_order_buffered(self):
+        window = ReceiveWindow()
+        window.receive(1)
+        window.receive(3)
+        assert window.contiguous == 1
+        assert window.gaps() == [2]
+        window.receive(2)
+        assert window.contiguous == 3
+
+    def test_duplicates_rejected(self):
+        window = ReceiveWindow()
+        assert window.receive(1)
+        assert not window.receive(1)
+        window.receive(3)
+        assert not window.receive(3)
+
+    def test_gaps_limit(self):
+        window = ReceiveWindow()
+        window.receive(100)
+        assert len(window.gaps(limit=10)) == 10
+
+    def test_has(self):
+        window = ReceiveWindow()
+        window.receive(1)
+        window.receive(5)
+        assert window.has(1)
+        assert window.has(5)
+        assert not window.has(3)
+
+    def test_highest_seen(self):
+        window = ReceiveWindow()
+        assert window.highest_seen() == 0
+        window.receive(7)
+        assert window.highest_seen() == 7
+
+
+class TestBufferPool:
+    def test_share_limits_origin(self):
+        pool = BufferPool(share=2)
+        pool.store(0, 1, b"a")
+        pool.store(0, 2, b"b")
+        assert not pool.has_room(0)
+        assert pool.has_room(1)  # other origins unaffected
+
+    def test_store_idempotent(self):
+        pool = BufferPool(share=2)
+        pool.store(0, 1, b"a")
+        pool.store(0, 1, b"a")
+        assert pool.occupancy(0) == 1
+
+    def test_get(self):
+        pool = BufferPool()
+        pool.store(1, 5, b"payload")
+        assert pool.get(1, 5) == b"payload"
+        assert pool.get(1, 6) is None
+
+    def test_collect_frees_stable_prefix(self):
+        pool = BufferPool(share=10)
+        for seq in range(1, 6):
+            pool.store(0, seq, b"x")
+        freed = pool.collect({0: 3})
+        assert freed == 3
+        assert pool.occupancy(0) == 2
+        assert pool.get(0, 3) is None
+        assert pool.get(0, 4) == b"x"
+
+    def test_collect_respects_origin(self):
+        pool = BufferPool()
+        pool.store(0, 1, b"a")
+        pool.store(1, 1, b"b")
+        pool.collect({0: 1})
+        assert pool.get(0, 1) is None
+        assert pool.get(1, 1) == b"b"
+
+    def test_peak_occupancy_stat(self):
+        pool = BufferPool()
+        for seq in range(1, 4):
+            pool.store(0, seq, b"x")
+        pool.collect({0: 3})
+        assert pool.stats["peak_occupancy"] == 3
+        assert pool.stats["collected"] == 3
+
+    def test_share_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(share=0)
