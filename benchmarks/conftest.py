@@ -7,8 +7,12 @@ and 6 and Table 1 read the same grid, exactly like the paper); the
 ``benchmark`` fixture times one representative scenario per figure so
 ``--benchmark-only`` reports the simulator's own cost.
 
-``REPRO_SCALE`` (default 0.3) scales per-run transaction counts;
-``REPRO_SCALE=1`` reproduces the paper's full 10 000-transaction runs.
+The grid is executed through the campaign runner, so the standard knobs
+apply: ``REPRO_SCALE`` (default 0.3) scales per-run transaction counts
+(``REPRO_SCALE=1`` reproduces the paper's full 10 000-transaction runs);
+``REPRO_WORKERS`` farms grid cells to that many worker processes; and
+``REPRO_ARTIFACT_DIR`` persists per-cell results so a re-run only
+computes missing cells.  Metrics are identical whichever path ran them.
 """
 
 from __future__ import annotations
@@ -21,37 +25,53 @@ from repro.core.experiment import Scenario, ScenarioConfig, ScenarioResult
 from repro.core.scenarios import (
     CLIENT_LEVELS,
     SYSTEM_CONFIGS,
-    scaled_transactions,
+    performance_config,
 )
+from repro.runner import run_campaign
 
 _grid_cache: Dict[Tuple[str, int], ScenarioResult] = {}
+
+
+def point_config(sites: int, cpus: int, clients: int) -> ScenarioConfig:
+    """One Figure 5/6 grid point: the canonical config plus the bench
+    suite's tighter sampling/drain windows."""
+    return performance_config(
+        sites,
+        cpus,
+        clients,
+        seed=42 + clients,
+        sample_interval=2.0,
+        drain_time=5.0,
+    )
 
 
 def run_point(label: str, sites: int, cpus: int, clients: int) -> ScenarioResult:
     """One point of the Figure 5/6 grid, cached for the session."""
     key = (label, clients)
     if key not in _grid_cache:
-        config = ScenarioConfig(
-            sites=sites,
-            cpus_per_site=cpus,
-            clients=clients,
-            transactions=scaled_transactions(),
-            seed=42 + clients,
-            sample_interval=2.0,
-            drain_time=5.0,
-        )
-        _grid_cache[key] = Scenario(config).run()
+        _grid_cache[key] = Scenario(point_config(sites, cpus, clients)).run()
     return _grid_cache[key]
 
 
 @pytest.fixture(scope="session")
 def performance_grid():
-    """All (system config, client level) points of Figures 5/6."""
-    grid = {}
-    for label, sites, cpus in SYSTEM_CONFIGS:
-        for clients in CLIENT_LEVELS:
-            grid[(label, clients)] = run_point(label, sites, cpus, clients)
-    return grid
+    """All (system config, client level) points of Figures 5/6,
+    executed through the campaign runner (parallel when REPRO_WORKERS
+    is set, resumable when REPRO_ARTIFACT_DIR is set)."""
+    missing = [
+        (label, sites, cpus, clients)
+        for label, sites, cpus in SYSTEM_CONFIGS
+        for clients in CLIENT_LEVELS
+        if (label, clients) not in _grid_cache
+    ]
+    labelled = [
+        (f"{label} c{clients}", point_config(sites, cpus, clients))
+        for label, sites, cpus, clients in missing
+    ]
+    campaign = run_campaign(labelled, campaign="fig5-grid", progress=True)
+    for (label, _, _, clients), (_, result) in zip(missing, campaign.pairs()):
+        _grid_cache[(label, clients)] = result
+    return dict(_grid_cache)
 
 
 def print_table(title: str, headers, rows) -> None:

@@ -7,32 +7,47 @@ crash of the sequencer — and for each run verifies the safety condition
 (all operational sites committed exactly the same transaction sequence)
 and reports the performance impact.
 
+The six cells run through the campaign runner: set ``REPRO_WORKERS=N``
+to run them across N worker processes, and ``REPRO_ARTIFACT_DIR`` to
+make the campaign resumable (a second invocation loads completed cells
+from ``$REPRO_ARTIFACT_DIR/faults/``).
+
 Run:  python examples/fault_injection_campaign.py
 """
 
-import statistics
-
-from repro import Scenario, ScenarioConfig
+from repro import ScenarioConfig
 from repro.core.metrics import quantiles
 from repro.core.scenarios import safety_fault_plans
+from repro.runner import resolve_workers, run_campaign
+
+FAULTS = ("clock-drift", "scheduling-latency", "random-loss",
+          "bursty-loss", "crash-member", "crash-sequencer")
 
 
 def main() -> None:
     plans = safety_fault_plans(sites=3, seed=7)
+    grid = [
+        (
+            name,
+            ScenarioConfig(
+                sites=3,
+                cpus_per_site=1,
+                clients=90,
+                transactions=600,
+                seed=123,
+                faults=plans[name],
+                max_sim_time=600.0,
+            ),
+        )
+        for name in FAULTS
+    ]
+    workers = resolve_workers()
+    campaign = run_campaign(
+        grid, workers=workers, campaign="faults", progress=workers > 1
+    )
     print(f"{'fault':<22s} {'records':>8s} {'tpm':>8s} "
           f"{'cert p50/p99 (ms)':>18s} {'commits/site':>22s}")
-    for name in ("clock-drift", "scheduling-latency", "random-loss",
-                 "bursty-loss", "crash-member", "crash-sequencer"):
-        config = ScenarioConfig(
-            sites=3,
-            cpus_per_site=1,
-            clients=90,
-            transactions=600,
-            seed=123,
-            faults=plans[name],
-            max_sim_time=600.0,
-        )
-        result = Scenario(config).run()
+    for name, result in campaign.pairs():
         counts = result.check_safety()  # raises on divergence
         certs = result.metrics.certification_latencies()
         if certs:

@@ -11,6 +11,10 @@ cluster, a loss-injected cluster), then re-checks them — clean by
 construction, since the cost-model clock makes runs deterministic — and
 finally shows a doctored baseline being caught as a regression.
 
+The suite sweeps its scenarios through the campaign runner: set
+``REPRO_WORKERS=2`` to record and check both scenarios in parallel
+worker processes; determinism makes the comparison identical.
+
 Run:  python examples/regression_suite.py
 """
 
@@ -20,6 +24,7 @@ from pathlib import Path
 
 from repro import ScenarioConfig, random_loss
 from repro.core.regression import RegressionSuite
+from repro.runner import resolve_workers
 
 
 def main() -> None:
@@ -31,7 +36,7 @@ def main() -> None:
             sites=3, cpus_per_site=1, clients=60, transactions=300, seed=12,
             faults={i: random_loss(0.05, seed=40 + i) for i in range(3)},
         ),
-    })
+    }, workers=resolve_workers())
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "baselines.json"

@@ -6,10 +6,15 @@ scale: a replicated database with N single-CPU sites tracks the
 throughput of a centralized server with N CPUs — replication does not
 limit throughput, while adding the resilience of multiple sites.
 
+The three configurations run through the campaign runner: set
+``REPRO_WORKERS=3`` to execute them in parallel worker processes (the
+printed metrics are identical either way — runs are deterministic).
+
 Run:  python examples/replication_scalability.py
 """
 
-from repro import Scenario, ScenarioConfig
+from repro import ScenarioConfig
+from repro.runner import resolve_workers, run_campaign
 
 CLIENTS = 240
 TRANSACTIONS = 1200
@@ -22,19 +27,27 @@ CONFIGS = (
 
 
 def main() -> None:
-    print(f"{CLIENTS} clients, {TRANSACTIONS} transactions per run\n")
+    workers = resolve_workers()
+    print(f"{CLIENTS} clients, {TRANSACTIONS} transactions per run, "
+          f"{workers} worker(s)\n")
+    grid = [
+        (
+            label,
+            ScenarioConfig(
+                sites=sites,
+                cpus_per_site=cpus,
+                clients=CLIENTS,
+                transactions=TRANSACTIONS,
+                seed=99,
+            ),
+        )
+        for label, sites, cpus in CONFIGS
+    ]
+    campaign = run_campaign(grid, workers=workers, progress=workers > 1)
     print(f"{'configuration':<22s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
           f"{'cpu':>6s} {'net KB/s':>9s}")
-    for label, sites, cpus in CONFIGS:
-        config = ScenarioConfig(
-            sites=sites,
-            cpus_per_site=cpus,
-            clients=CLIENTS,
-            transactions=TRANSACTIONS,
-            seed=99,
-        )
-        result = Scenario(config).run()
-        if sites > 1:
+    for label, result in campaign.pairs():
+        if result.config.sites > 1:
             result.check_safety()
         total_cpu, _ = result.cpu_usage()
         print(

@@ -40,6 +40,7 @@ from .core import (
     scheduling_latency,
 )
 from .gcs import GcsConfig
+from .runner import CampaignError, CampaignResult, run_campaign
 from .tpcc import ProfileSet, TpccWorkload, default_profiles
 
 __version__ = "1.0.0"
@@ -62,6 +63,9 @@ __all__ = [
     "random_loss",
     "scheduling_latency",
     "GcsConfig",
+    "CampaignError",
+    "CampaignResult",
+    "run_campaign",
     "ProfileSet",
     "TpccWorkload",
     "default_profiles",

@@ -22,6 +22,7 @@ from .kernel import MS, US, Entity, Event, Process, Signal, SimulationError, Sim
 from .metrics import (
     MetricsCollector,
     ResourceSampler,
+    SampleSeries,
     TxRecord,
     ecdf,
     qq_points,
@@ -69,6 +70,7 @@ __all__ = [
     "Simulator",
     "MetricsCollector",
     "ResourceSampler",
+    "SampleSeries",
     "TxRecord",
     "ecdf",
     "qq_points",

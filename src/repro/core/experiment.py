@@ -16,6 +16,8 @@ single-site reference curves.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -38,13 +40,16 @@ from .cpu import CpuPool
 from .csrt import MODELED, SiteRuntime
 from .faults import FaultInjector, FaultPlan
 from .kernel import Simulator
-from .metrics import MetricsCollector, ResourceSampler
+from .metrics import MetricsCollector, ResourceSampler, SampleSeries
 from .runtime_api import SimulatedProtocolRuntime
 from .safety import CommitLog, check_consistency
 
 __all__ = ["ScenarioConfig", "Scenario", "ScenarioResult", "Site"]
 
 _GROUP_PORT = 7000
+
+#: Artifact format tag; bump when the serialized layout changes.
+RESULT_FORMAT = "repro.scenario_result/1"
 
 
 @dataclass
@@ -84,6 +89,58 @@ class ScenarioConfig:
         if self.transactions < 1:
             raise ValueError("transactions must be positive")
 
+    # ------------------------------------------------------------------
+    # serialization (runner artifacts, resume-matching)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready encoding of the configuration.
+
+        ``profiles`` objects carry sampling distributions that have no
+        canonical JSON form; they are reduced to a stable fingerprint so
+        artifact resume-matching still distinguishes custom profile sets
+        from the defaults.  ``from_dict`` therefore reconstructs custom
+        profiles as ``None`` (the defaults) — exact round-trip holds for
+        every config that uses the default profiles.
+        """
+        data: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "profiles":
+                data[f.name] = (
+                    None
+                    if value is None
+                    else hashlib.sha1(repr(value).encode()).hexdigest()
+                )
+            elif f.name == "gcs":
+                data[f.name] = value.to_dict()
+            elif f.name == "faults":
+                data[f.name] = {
+                    str(site): plan.to_dict() for site, plan in value.items()
+                }
+            else:
+                data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, object] = {}
+        for name, value in data.items():
+            if name not in known:
+                continue
+            if name == "profiles":
+                kwargs[name] = None  # fingerprints are not reconstructible
+            elif name == "gcs":
+                kwargs[name] = GcsConfig.from_dict(value)
+            elif name == "faults":
+                kwargs[name] = {
+                    int(site): FaultPlan.from_dict(plan)
+                    for site, plan in value.items()
+                }
+            else:
+                kwargs[name] = value
+        return cls(**kwargs)
+
 
 @dataclass
 class Site:
@@ -102,7 +159,14 @@ class Site:
 
 
 class ScenarioResult:
-    """Run outputs: metrics, resource samples, capture, commit logs."""
+    """Run outputs: metrics, resource samples, capture, commit logs.
+
+    A live run holds the assembled :class:`Site` objects; a result
+    reconstructed with :meth:`from_dict` (runner artifacts, results sent
+    back from worker processes) holds ``sites=[]`` but answers every
+    metric, commit-log and safety question identically — the commit logs
+    and resource samples are captured by value at construction.
+    """
 
     def __init__(
         self,
@@ -119,9 +183,22 @@ class ScenarioResult:
         self.capture = capture
         self.sites = sites
         self.sim_time = sim_time
+        self._commit_logs: List[CommitLog] = [
+            s.replica.commit_log for s in sites if s.replica is not None
+        ]
+        #: Per-site protocol counters (certifier + replica), kept by
+        #: value so they survive serialization.
+        self.site_stats: Dict[str, Dict[str, int]] = {
+            s.server.name: {
+                **s.replica.certifier.stats,
+                **s.replica.stats,
+            }
+            for s in sites
+            if s.replica is not None
+        }
 
     def commit_logs(self) -> List[CommitLog]:
-        return [s.replica.commit_log for s in self.sites if s.replica is not None]
+        return list(self._commit_logs)
 
     def check_safety(self) -> Dict[str, int]:
         """All operational sites committed the same sequence (§5.3)."""
@@ -149,6 +226,58 @@ class ScenarioResult:
 
     def network_kbps(self) -> float:
         return self.sampler.net_kbytes_per_second()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready encoding carrying everything the figures need:
+        transaction records, resource samples, commit logs, per-site
+        protocol counters and the capture's byte/packet totals."""
+        sampler = (
+            self.sampler.series()
+            if isinstance(self.sampler, ResourceSampler)
+            else self.sampler
+        )
+        return {
+            "format": RESULT_FORMAT,
+            "config": self.config.to_dict(),
+            "sim_time": self.sim_time,
+            "metrics": self.metrics.to_dict(),
+            "samples": sampler.to_dict(),
+            "capture": {
+                "total_bytes": self.capture.total_bytes,
+                "total_packets": self.capture.total_packets,
+            },
+            "commit_logs": [log.to_dict() for log in self._commit_logs],
+            "site_stats": self.site_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported result format {data.get('format')!r} "
+                f"(expected {RESULT_FORMAT!r})"
+            )
+        result = cls.__new__(cls)
+        result.config = ScenarioConfig.from_dict(data["config"])
+        result.metrics = MetricsCollector.from_dict(data["metrics"])
+        result.sampler = SampleSeries.from_dict(data["samples"])
+        capture = PacketCapture(keep_entries=False)
+        capture.total_bytes = int(data["capture"]["total_bytes"])
+        capture.total_packets = int(data["capture"]["total_packets"])
+        result.capture = capture
+        result.sites = []
+        result.sim_time = float(data["sim_time"])
+        result._commit_logs = [
+            CommitLog.from_dict(log) for log in data["commit_logs"]
+        ]
+        result.site_stats = {
+            site: {k: int(v) for k, v in stats.items()}
+            for site, stats in data.get("site_stats", {}).items()
+        }
+        return result
 
 
 class Scenario:

@@ -21,6 +21,7 @@ carry any combination.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -64,6 +65,14 @@ class FaultPlan:
             or self.bursty_loss_rate > 0.0
             or self.crash_at is not None
         )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class FaultInjector(RuntimeInterceptor):

@@ -23,10 +23,26 @@ __all__ = [
     "MetricsCollector",
     "ResourceSample",
     "ResourceSampler",
+    "SampleSeries",
     "ecdf",
     "quantiles",
     "qq_points",
 ]
+
+#: Column order of the compact list encoding used by ``TxRecord.to_list``
+#: (one row per record keeps result artifacts small — grids log many
+#: thousands of transactions).
+TX_RECORD_FIELDS = (
+    "tx_id",
+    "tx_class",
+    "site",
+    "submit_time",
+    "end_time",
+    "outcome",
+    "readonly",
+    "certification_latency",
+    "abort_reason",
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,24 @@ class TxRecord:
     @property
     def committed(self) -> bool:
         return self.outcome == "commit"
+
+    def to_list(self) -> List:
+        """Compact row encoding, columns as in ``TX_RECORD_FIELDS``."""
+        return [getattr(self, name) for name in TX_RECORD_FIELDS]
+
+    @classmethod
+    def from_list(cls, row: Sequence) -> "TxRecord":
+        return cls(
+            tx_id=int(row[0]),
+            tx_class=str(row[1]),
+            site=str(row[2]),
+            submit_time=float(row[3]),
+            end_time=float(row[4]),
+            outcome=str(row[5]),
+            readonly=bool(row[6]),
+            certification_latency=float(row[7]),
+            abort_reason=str(row[8]),
+        )
 
 
 class MetricsCollector:
@@ -138,6 +172,24 @@ class MetricsCollector:
             if r.certification_latency > 0
         ]
 
+    # ------------------------------------------------------------------
+    # serialization (runner artifacts, cross-process result transfer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fields": list(TX_RECORD_FIELDS),
+            "records": [r.to_list() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MetricsCollector":
+        fields = tuple(data.get("fields", TX_RECORD_FIELDS))
+        if fields != TX_RECORD_FIELDS:
+            raise ValueError(f"unknown record encoding: {fields}")
+        collector = cls()
+        collector.records = [TxRecord.from_list(row) for row in data["records"]]
+        return collector
+
 
 # ----------------------------------------------------------------------
 # distribution helpers (Figures 4 and 7)
@@ -203,6 +255,83 @@ class ResourceSample:
     cpu_real: float  # fraction spent in real (protocol) jobs
     disk: float  # storage utilization, 0..1
     net_bytes: int  # fabric bytes transferred during the window
+
+    def to_list(self) -> List:
+        return [self.time, self.cpu_total, self.cpu_real, self.disk, self.net_bytes]
+
+    @classmethod
+    def from_list(cls, row: Sequence) -> "ResourceSample":
+        return cls(
+            time=float(row[0]),
+            cpu_total=float(row[1]),
+            cpu_real=float(row[2]),
+            disk=float(row[3]),
+            net_bytes=int(row[4]),
+        )
+
+
+class SampleSeries:
+    """A finished sequence of :class:`ResourceSample` plus its interval.
+
+    This is the serializable, simulator-free view of a run's resource
+    usage: :class:`ResourceSampler` produces one (``series()``) and
+    deserialized :class:`~repro.core.experiment.ScenarioResult` objects
+    carry one in the sampler slot — both answer the same steady-state
+    questions with identical arithmetic.
+    """
+
+    def __init__(self, samples: Sequence[ResourceSample], interval: float):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.samples: List[ResourceSample] = list(samples)
+        self.interval = interval
+
+    # -- steady-state statistics (first/last 20 % trimmed, >=1 kept) ----
+    def _steady_window(self) -> List[ResourceSample]:
+        n = len(self.samples)
+        if n == 0:
+            return []
+        lo = n // 5
+        hi = max(lo + 1, n - n // 5)
+        return self.samples[lo:hi]
+
+    def mean_cpu(self) -> Tuple[float, float]:
+        """Steady-state (total, real-job) CPU usage, 0..1."""
+        window = self._steady_window()
+        if not window:
+            return 0.0, 0.0
+        total = sum(s.cpu_total for s in window) / len(window)
+        real = sum(s.cpu_real for s in window) / len(window)
+        return total, real
+
+    def mean_disk(self) -> float:
+        window = self._steady_window()
+        if not window:
+            return 0.0
+        return sum(s.disk for s in window) / len(window)
+
+    def net_kbytes_per_second(self) -> float:
+        window = self._steady_window()
+        if not window:
+            return 0.0
+        per_second = sum(s.net_bytes for s in window) / (
+            len(window) * self.interval
+        )
+        return per_second / 1024.0
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "samples": [s.to_list() for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SampleSeries":
+        return cls(
+            [ResourceSample.from_list(row) for row in data["samples"]],
+            float(data["interval"]),
+        )
 
 
 class ResourceSampler(Entity):
@@ -289,35 +418,20 @@ class ResourceSampler(Entity):
         self.schedule(self.interval, self._tick)
 
     # ------------------------------------------------------------------
+    def series(self) -> SampleSeries:
+        """The samples as a simulator-free :class:`SampleSeries`."""
+        return SampleSeries(self.samples, self.interval)
+
     def _steady_window(self) -> List[ResourceSample]:
         """Samples with the first and last 20 % trimmed (>=1 retained)."""
-        n = len(self.samples)
-        if n == 0:
-            return []
-        lo = n // 5
-        hi = max(lo + 1, n - n // 5)
-        return self.samples[lo:hi]
+        return self.series()._steady_window()
 
     def mean_cpu(self) -> Tuple[float, float]:
         """Steady-state (total, real-job) CPU usage, 0..1."""
-        window = self._steady_window()
-        if not window:
-            return 0.0, 0.0
-        total = sum(s.cpu_total for s in window) / len(window)
-        real = sum(s.cpu_real for s in window) / len(window)
-        return total, real
+        return self.series().mean_cpu()
 
     def mean_disk(self) -> float:
-        window = self._steady_window()
-        if not window:
-            return 0.0
-        return sum(s.disk for s in window) / len(window)
+        return self.series().mean_disk()
 
     def net_kbytes_per_second(self) -> float:
-        window = self._steady_window()
-        if not window:
-            return 0.0
-        per_second = sum(s.net_bytes for s in window) / (
-            len(window) * self.interval
-        )
-        return per_second / 1024.0
+        return self.series().net_kbytes_per_second()

@@ -96,6 +96,7 @@ class RegressionSuite:
         self,
         scenarios: Dict[str, ScenarioConfig],
         tolerances: Optional[Dict[str, float]] = None,
+        workers: Optional[int] = None,
     ):
         if not scenarios:
             raise ValueError("a regression suite needs at least one scenario")
@@ -103,13 +104,17 @@ class RegressionSuite:
         self.tolerances = dict(DEFAULT_TOLERANCES)
         if tolerances:
             self.tolerances.update(tolerances)
+        #: Worker processes for record/check sweeps (None: REPRO_WORKERS
+        #: or sequential); determinism is per-scenario, so parallel and
+        #: sequential sweeps see identical metrics.
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run_scenario(self, name: str) -> Tuple[ScenarioBaseline, ScenarioResult]:
-        config = self.scenarios[name]
-        result = Scenario(config).run()
+    @staticmethod
+    def baseline_from(name: str, result: ScenarioResult) -> ScenarioBaseline:
+        """Extract the recorded metric set from a finished run."""
         metrics = {
             "throughput_tpm": result.throughput_tpm(),
             "mean_latency": result.mean_latency(),
@@ -118,18 +123,37 @@ class RegressionSuite:
         }
         certs = result.metrics.certification_latencies()
         metrics["cert_p99"] = quantiles(certs, (0.99,))[0] if certs else 0.0
-        baseline = ScenarioBaseline(
+        return ScenarioBaseline(
             name=name,
             metrics=metrics,
             completed=len(result.metrics.records),
         )
-        return baseline, result
+
+    def run_scenario(self, name: str) -> Tuple[ScenarioBaseline, ScenarioResult]:
+        config = self.scenarios[name]
+        result = Scenario(config).run()
+        return self.baseline_from(name, result), result
+
+    def _run_all(
+        self, names: Optional[List[str]] = None
+    ) -> Dict[str, Tuple[ScenarioBaseline, ScenarioResult]]:
+        """Run the named scenarios (default: all, possibly in parallel),
+        in sorted name order."""
+        from ..runner import run_campaign  # local: avoids an import cycle
+
+        if names is None:
+            names = sorted(self.scenarios)
+        labelled = [(name, self.scenarios[name]) for name in names]
+        campaign = run_campaign(labelled, workers=self.workers)
+        return {
+            name: (self.baseline_from(name, result), result)
+            for name, result in campaign.pairs()
+        }
 
     def record(self, path: Union[str, Path]) -> Dict[str, ScenarioBaseline]:
         """Run every scenario and write the baseline file."""
         baselines = {}
-        for name in sorted(self.scenarios):
-            baseline, result = self.run_scenario(name)
+        for name, (baseline, result) in self._run_all().items():
             result.check_safety()
             baselines[name] = baseline
         payload = {name: b.to_json() for name, b in baselines.items()}
@@ -148,6 +172,11 @@ class RegressionSuite:
             for name, data in json.loads(Path(path).read_text()).items()
         }
         findings: List[Regression] = []
+        # scenarios missing from the baseline file are findings, not
+        # runs — only replay what there is a baseline to compare against
+        runs = self._run_all(
+            [name for name in sorted(self.scenarios) if name in stored]
+        )
         for name in sorted(self.scenarios):
             if name not in stored:
                 findings.append(
@@ -155,7 +184,7 @@ class RegressionSuite:
                 )
                 continue
             baseline = stored[name]
-            measured, result = self.run_scenario(name)
+            measured, result = runs[name]
             try:
                 result.check_safety()
             except SafetyViolation:

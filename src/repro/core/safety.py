@@ -36,6 +36,21 @@ class CommitLog:
     def sequence(self) -> Tuple[Tuple[int, int], ...]:
         return tuple(self.entries)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "entries": [list(entry) for entry in self.entries],
+            "crashed": self.crashed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CommitLog":
+        return cls(
+            site=str(data["site"]),
+            entries=[(int(seq), int(tx)) for seq, tx in data["entries"]],
+            crashed=bool(data["crashed"]),
+        )
+
 
 class SafetyViolation(AssertionError):
     """Raised when replicas disagree on the committed sequence."""

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..gcs.config import GcsConfig
 from .faults import FaultPlan, bursty_loss, clock_drift, random_loss, scheduling_latency
-from .experiment import Scenario, ScenarioConfig, ScenarioResult
+from .experiment import ScenarioConfig, ScenarioResult
 
 __all__ = [
     "PAPER_TRANSACTIONS",
@@ -157,9 +157,25 @@ def safety_fault_plans(sites: int = 3, seed: int = 5) -> Dict[str, Dict[int, Fau
 
 def run_grid(
     configs: Iterable[Tuple[str, ScenarioConfig]],
+    workers: Optional[int] = None,
+    artifact_dir: Optional[str] = None,
+    campaign: Optional[str] = None,
+    progress: object = False,
 ) -> List[Tuple[str, ScenarioResult]]:
-    """Run a list of labelled configurations sequentially."""
-    results = []
-    for label, config in configs:
-        results.append((label, Scenario(config).run()))
-    return results
+    """Run a list of labelled configurations through the campaign runner.
+
+    The default (``workers=None`` with ``REPRO_WORKERS`` unset) keeps
+    the historical behavior: every scenario runs sequentially in this
+    process.  ``workers>1`` farms cells to a process pool; an artifact
+    directory makes the grid resumable.  Raises
+    :class:`repro.runner.CampaignError` if any cell failed.
+    """
+    from ..runner import run_campaign  # local: keeps core import-light
+
+    return run_campaign(
+        configs,
+        workers=workers,
+        artifact_dir=artifact_dir,
+        campaign=campaign,
+        progress=progress,
+    ).pairs()

@@ -9,6 +9,7 @@ steady state yet short enough to keep buffers small.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 __all__ = ["GcsConfig"]
@@ -56,3 +57,11 @@ class GcsConfig:
     #: messages are fragmented by the session layer.  The prototype uses
     #: a safe value below the Ethernet MTU (§4.2).
     max_packet: int = 1400
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GcsConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

@@ -1,0 +1,45 @@
+"""Parallel experiment runner: labelled scenario grids across processes.
+
+The paper's evaluation is a large scenario grid (Figures 5-7, Tables
+1-2); this package executes such grids across worker processes with
+deterministic per-scenario seeding, crash-isolated workers, progress/ETA
+reporting and a JSON artifact store that makes campaigns resumable.
+
+Quick start::
+
+    from repro.runner import run_campaign
+
+    campaign = run_campaign(
+        [("3 Sites x500", ScenarioConfig(sites=3, clients=500, ...))],
+        workers=4,                    # or REPRO_WORKERS
+        artifact_dir="results/fig5",  # optional: skip completed cells
+        progress=True,
+    )
+    for label, result in campaign.pairs():
+        print(label, result.throughput_tpm())
+"""
+
+from .progress import CampaignProgress, ProgressEvent
+from .runner import (
+    ARTIFACT_DIR_ENV,
+    WORKERS_ENV,
+    CampaignCell,
+    CampaignError,
+    CampaignResult,
+    resolve_workers,
+    run_campaign,
+)
+from .store import ArtifactStore
+
+__all__ = [
+    "ARTIFACT_DIR_ENV",
+    "WORKERS_ENV",
+    "ArtifactStore",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignProgress",
+    "CampaignResult",
+    "ProgressEvent",
+    "resolve_workers",
+    "run_campaign",
+]

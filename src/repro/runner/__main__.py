@@ -1,0 +1,135 @@
+"""Command-line campaign driver: ``python -m repro.runner``.
+
+Runs one of the canonical grids through the parallel runner and prints a
+paper-style summary table.  Examples::
+
+    # tiny pool-path smoke test (CI uses this)
+    python -m repro.runner --grid smoke --workers 2 --transactions 120
+
+    # the Figure 5/6 performance sweep, resumable under results/fig5/
+    python -m repro.runner --grid fig5 --workers 4 --artifact-dir results/fig5
+
+    # the Figure 7 fault grid
+    python -m repro.runner --grid fig7 --workers 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Tuple
+
+from ..core.experiment import ScenarioConfig
+from ..core.scenarios import (
+    CLIENT_LEVELS,
+    SYSTEM_CONFIGS,
+    fault_config,
+    performance_config,
+    scaled_transactions,
+)
+from . import CampaignResult, run_campaign
+
+
+def _smoke_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
+    grid = []
+    for sites, cpus in ((1, 1), (3, 1)):
+        for clients in (40, 80):
+            label = f"{sites}x{cpus}cpu c{clients}"
+            grid.append(
+                (
+                    label,
+                    ScenarioConfig(
+                        sites=sites,
+                        cpus_per_site=cpus,
+                        clients=clients,
+                        transactions=transactions,
+                        seed=42 + clients,
+                    ),
+                )
+            )
+    return grid
+
+
+def _fig5_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
+    return [
+        (
+            f"{label} c{clients}",
+            performance_config(
+                sites, cpus, clients, transactions=transactions, seed=42 + clients
+            ),
+        )
+        for label, sites, cpus in SYSTEM_CONFIGS
+        for clients in CLIENT_LEVELS
+    ]
+
+
+def _fig7_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
+    return [
+        (kind, fault_config(kind, transactions=transactions))
+        for kind in ("none", "random", "bursty")
+    ]
+
+
+GRIDS = {"smoke": _smoke_grid, "fig5": _fig5_grid, "fig7": _fig7_grid}
+
+
+def _print_summary(campaign: CampaignResult) -> None:
+    print(
+        f"\n{'cell':<24s} {'status':<8s} {'tpm':>8s} {'latency':>9s} "
+        f"{'abort':>7s} {'cpu':>6s} {'net KB/s':>9s} {'src':>10s}"
+    )
+    for cell in campaign.cells:
+        if cell.status != "ok":
+            print(f"{cell.label:<24s} {'FAILED':<8s}  (see traceback below)")
+            continue
+        result = cell.result
+        total_cpu, _ = result.cpu_usage()
+        print(
+            f"{cell.label:<24s} {'ok':<8s} {result.throughput_tpm():8.1f} "
+            f"{result.mean_latency() * 1000:7.1f}ms "
+            f"{result.abort_rate():6.2f}% "
+            f"{total_cpu * 100:5.1f}% "
+            f"{result.network_kbps():9.1f} {cell.source:>10s}"
+        )
+    for cell in campaign.failures:
+        print(f"\n--- {cell.label} ---\n{cell.error}", file=sys.stderr)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner", description=__doc__
+    )
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="default: REPRO_WORKERS or 1"
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="campaign directory for resumable JSON artifacts "
+        "(default: REPRO_ARTIFACT_DIR/<grid> when that is set)",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="per-cell transaction count (default: REPRO_SCALE-scaled paper count)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no progress lines")
+    args = parser.parse_args(argv)
+
+    transactions = args.transactions or scaled_transactions()
+    grid = GRIDS[args.grid](transactions)
+    campaign = run_campaign(
+        grid,
+        workers=args.workers,
+        artifact_dir=args.artifact_dir,
+        campaign=args.grid,
+        progress=not args.quiet,
+    )
+    _print_summary(campaign)
+    return 0 if campaign.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Progress and ETA reporting for campaign runs.
+
+The runner emits one :class:`ProgressEvent` per finished cell.  Passing
+``progress=True`` to :func:`~repro.runner.run_campaign` installs the
+default :class:`CampaignProgress` printer (one line per cell on stderr);
+passing a callable receives the raw events instead — which is also how
+the tests observe scheduling without parsing output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+__all__ = ["ProgressEvent", "CampaignProgress"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One campaign cell finished (run, loaded or failed)."""
+
+    label: str
+    status: str  # "ok" | "failed"
+    source: str  # "in-process" | "worker" | "artifact"
+    done: int  # cells finished so far (including this one)
+    total: int  # cells in the campaign
+    duration: float  # wall seconds spent on this cell (0 for artifacts)
+    elapsed: float  # wall seconds since the campaign started
+    eta: Optional[float]  # estimated remaining wall seconds, if known
+
+
+class CampaignProgress:
+    """Default progress printer: one line per finished cell with ETA.
+
+    The ETA assumes the remaining cells cost the mean of the cells
+    actually *executed* so far (artifact loads are free and excluded)
+    divided by the worker count — crude, but monotone and cheap.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        workers: int = 1,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._started = clock()
+        self._done = 0
+        self._executed = 0
+        self._executed_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def event(self, label: str, status: str, source: str, duration: float) -> ProgressEvent:
+        """Account one finished cell and build its event."""
+        self._done += 1
+        if source != "artifact":
+            self._executed += 1
+            self._executed_seconds += duration
+        return ProgressEvent(
+            label=label,
+            status=status,
+            source=source,
+            done=self._done,
+            total=self.total,
+            duration=duration,
+            elapsed=self._clock() - self._started,
+            eta=self.eta(),
+        )
+
+    def eta(self) -> Optional[float]:
+        if self._executed == 0:
+            return None
+        mean = self._executed_seconds / self._executed
+        remaining = self.total - self._done
+        return mean * remaining / self.workers
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: ProgressEvent) -> None:
+        eta = f"ETA {event.eta:.0f}s" if event.eta is not None else "ETA ?"
+        mark = "ok" if event.status == "ok" else "FAIL"
+        src = " (cached)" if event.source == "artifact" else ""
+        print(
+            f"[{event.done}/{event.total}] {mark:<4} {event.label}{src} "
+            f"{event.duration:.1f}s — elapsed {event.elapsed:.0f}s, {eta}",
+            file=self.stream,
+        )

@@ -1,0 +1,294 @@
+"""Campaign execution: sequential in-process or across worker processes.
+
+``run_campaign`` executes a list of labelled
+:class:`~repro.core.experiment.ScenarioConfig` cells and returns a
+:class:`CampaignResult` in input order.  Three execution sources:
+
+* **artifact** — a matching result already sits in the artifact store
+  (resume): the cell is loaded, not run;
+* **in-process** — ``workers=1``: cells run sequentially in this
+  process, bit-identical to calling ``Scenario(config).run()`` yourself
+  (the legacy ``run_grid`` behavior);
+* **worker** — ``workers>1``: cells are farmed to a
+  ``ProcessPoolExecutor``; results cross the process boundary as
+  ``ScenarioResult.to_dict()`` payloads.
+
+Determinism: every scenario is seeded solely by its config, so the same
+cell produces identical metrics whichever source executed it.  (The one
+exception is ``TxRecord.tx_id`` / commit-log transaction ids, which come
+from a process-global counter — as already documented by the determinism
+tests; nothing derived from a result depends on them.)
+
+Failures are isolated: an exception inside one cell — config error,
+simulation bug, even a worker process dying — is recorded on that cell
+(``status="failed"`` with the traceback) and the rest of the campaign
+still completes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.experiment import Scenario, ScenarioConfig, ScenarioResult
+from .progress import CampaignProgress, ProgressEvent
+from .store import ArtifactStore
+
+__all__ = [
+    "ARTIFACT_DIR_ENV",
+    "WORKERS_ENV",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignResult",
+    "resolve_workers",
+    "run_campaign",
+]
+
+#: Environment knob: default worker count when ``workers=None``.
+WORKERS_ENV = "REPRO_WORKERS"
+#: Environment knob: default artifact root when ``artifact_dir=None``.
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+
+class CampaignError(RuntimeError):
+    """At least one campaign cell failed; carries the failed cells."""
+
+    def __init__(self, failures: List["CampaignCell"]):
+        self.failures = failures
+        lines = [f"{len(failures)} campaign cell(s) failed:"]
+        for cell in failures:
+            first = (cell.error or "").strip().splitlines()
+            lines.append(f"  {cell.label}: {first[-1] if first else 'unknown error'}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class CampaignCell:
+    """Outcome of one labelled grid cell."""
+
+    label: str
+    status: str  # "ok" | "failed"
+    result: Optional[ScenarioResult]
+    error: Optional[str]  # traceback text for failed cells
+    duration: float  # wall seconds spent executing (0 for artifact loads)
+    source: str  # "in-process" | "worker" | "artifact"
+
+
+class CampaignResult:
+    """All cells of a campaign, in the input grid order."""
+
+    def __init__(self, cells: List[CampaignCell]):
+        self.cells = cells
+
+    @property
+    def failures(self) -> List[CampaignCell]:
+        return [c for c in self.cells if c.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def get(self, label: str) -> CampaignCell:
+        for cell in self.cells:
+            if cell.label == label:
+                return cell
+        raise KeyError(label)
+
+    def pairs(self) -> List[Tuple[str, ScenarioResult]]:
+        """``[(label, result)]`` in grid order; raises
+        :class:`CampaignError` if any cell failed."""
+        if self.failures:
+            raise CampaignError(self.failures)
+        return [(c.label, c.result) for c in self.cells]  # type: ignore[misc]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is not None:
+        return max(1, int(workers))
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def _resolve_store(
+    artifact_dir: Optional[Union[str, Path]], campaign: Optional[str]
+) -> Optional[ArtifactStore]:
+    if artifact_dir is None:
+        env = os.environ.get(ARTIFACT_DIR_ENV)
+        if not env:
+            return None
+        artifact_dir = Path(env) / campaign if campaign else Path(env)
+    return ArtifactStore(artifact_dir)
+
+
+def _execute_cell(
+    label: str, config: ScenarioConfig
+) -> Tuple[str, Optional[dict], Optional[str], float]:
+    """Worker-side entry point: run one cell, never raise.
+
+    Results return as ``to_dict()`` payloads — live results hold
+    simulator entities that must not cross the process boundary.
+    """
+    started = time.perf_counter()
+    try:
+        result = Scenario(config).run()
+        return label, result.to_dict(), None, time.perf_counter() - started
+    except BaseException:
+        return label, None, traceback.format_exc(), time.perf_counter() - started
+
+
+def run_campaign(
+    configs: Iterable[Tuple[str, ScenarioConfig]],
+    workers: Optional[int] = None,
+    artifact_dir: Optional[Union[str, Path]] = None,
+    campaign: Optional[str] = None,
+    progress: Union[bool, Callable[[ProgressEvent], None]] = False,
+) -> CampaignResult:
+    """Execute a labelled scenario grid, possibly in parallel.
+
+    ``workers`` defaults to ``REPRO_WORKERS`` (else 1: sequential
+    in-process execution).  ``artifact_dir`` (or ``REPRO_ARTIFACT_DIR``,
+    suffixed with ``campaign`` when given) enables the resumable JSON
+    store: cells whose stored config matches are loaded, completed cells
+    are saved as soon as they finish.  ``progress`` may be ``True`` for
+    the default stderr printer or any callable taking a
+    :class:`ProgressEvent`.
+    """
+    labelled = list(configs)
+    seen: set = set()
+    for label, _ in labelled:
+        if label in seen:
+            raise ValueError(f"duplicate campaign label: {label!r}")
+        seen.add(label)
+
+    workers = resolve_workers(workers)
+    store = _resolve_store(artifact_dir, campaign)
+    reporter = CampaignProgress(total=len(labelled), workers=workers)
+    if progress is True:
+        on_event: Optional[Callable[[ProgressEvent], None]] = reporter
+    elif callable(progress):
+        on_event = progress
+    else:
+        on_event = None
+
+    cells: Dict[str, CampaignCell] = {}
+    requested: Dict[str, ScenarioConfig] = dict(labelled)
+
+    def finish(cell: CampaignCell) -> None:
+        cells[cell.label] = cell
+        if store is not None and cell.status == "ok" and cell.source != "artifact":
+            # key the artifact on the *requested* config: a result that
+            # crossed the process boundary lost any custom profiles
+            store.save(cell.label, cell.result, config=requested[cell.label])
+        event = reporter.event(cell.label, cell.status, cell.source, cell.duration)
+        if on_event is not None:
+            on_event(event)
+
+    # -- resume: load completed cells from the artifact store -----------
+    pending: List[Tuple[str, ScenarioConfig]] = []
+    for label, config in labelled:
+        cached = store.load(label, config) if store is not None else None
+        if cached is not None:
+            finish(CampaignCell(label, "ok", cached, None, 0.0, "artifact"))
+        else:
+            pending.append((label, config))
+
+    if workers <= 1:
+        _run_in_process(pending, finish)
+    else:
+        _run_in_pool(pending, workers, finish)
+
+    return CampaignResult([cells[label] for label, _ in labelled])
+
+
+def _run_in_process(
+    pending: List[Tuple[str, ScenarioConfig]],
+    finish: Callable[[CampaignCell], None],
+) -> None:
+    """Sequential path: identical to the legacy ``run_grid`` loop, with
+    per-cell failure isolation."""
+    for label, config in pending:
+        started = time.perf_counter()
+        try:
+            result = Scenario(config).run()
+        except Exception:
+            finish(
+                CampaignCell(
+                    label,
+                    "failed",
+                    None,
+                    traceback.format_exc(),
+                    time.perf_counter() - started,
+                    "in-process",
+                )
+            )
+        else:
+            finish(
+                CampaignCell(
+                    label,
+                    "ok",
+                    result,
+                    None,
+                    time.perf_counter() - started,
+                    "in-process",
+                )
+            )
+
+
+def _run_in_pool(
+    pending: List[Tuple[str, ScenarioConfig]],
+    workers: int,
+    finish: Callable[[CampaignCell], None],
+) -> None:
+    """Process-pool path with crash isolation.
+
+    ``_execute_cell`` catches everything that happens *inside* a worker;
+    the except branch here additionally absorbs pool-level failures (a
+    worker process dying takes the executor down — every outstanding
+    future then resolves to a failed cell instead of killing the
+    campaign)."""
+    if not pending:
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        futures = {
+            pool.submit(_execute_cell, label, config): label
+            for label, config in pending
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                label = futures[future]
+                try:
+                    _, payload, error, duration = future.result()
+                except BaseException as exc:  # BrokenProcessPool and kin
+                    finish(
+                        CampaignCell(
+                            label, "failed", None, repr(exc), 0.0, "worker"
+                        )
+                    )
+                    continue
+                if error is not None:
+                    finish(
+                        CampaignCell(
+                            label, "failed", None, error, duration, "worker"
+                        )
+                    )
+                else:
+                    finish(
+                        CampaignCell(
+                            label,
+                            "ok",
+                            ScenarioResult.from_dict(payload),
+                            None,
+                            duration,
+                            "worker",
+                        )
+                    )

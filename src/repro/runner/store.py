@@ -1,0 +1,81 @@
+"""JSON artifact store: one file per campaign cell.
+
+Layout is ``<root>/<label>.json`` where ``<root>`` is typically
+``results/<campaign>/``.  Each artifact carries the cell's label, the
+full configuration encoding and the serialized
+:class:`~repro.core.experiment.ScenarioResult`; a cell is only reused
+when the stored configuration matches the requested one exactly, so
+editing a grid invalidates precisely the cells it changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.experiment import ScenarioConfig, ScenarioResult
+
+__all__ = ["ArtifactStore"]
+
+
+def _slug(label: str) -> str:
+    """Filesystem-safe, collision-free file stem for a cell label."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "cell"
+    digest = hashlib.sha1(label.encode()).hexdigest()[:8]
+    return f"{safe}-{digest}"
+
+
+class ArtifactStore:
+    """Persists per-cell results so campaigns are resumable."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, label: str) -> Path:
+        return self.root / f"{_slug(label)}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, label: str, config: ScenarioConfig) -> Optional[ScenarioResult]:
+        """The stored result for ``label``, or None if absent, corrupt,
+        or recorded under a different configuration."""
+        path = self.path_for(label)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            if data.get("label") != label:
+                return None
+            if data.get("config") != config.to_dict():
+                return None
+            return ScenarioResult.from_dict(data["result"])
+        except (ValueError, KeyError, TypeError, OSError):
+            return None  # unreadable artifacts are simply re-run
+
+    def save(
+        self,
+        label: str,
+        result: ScenarioResult,
+        config: Optional[ScenarioConfig] = None,
+    ) -> Path:
+        """Atomically write the artifact for one completed cell.
+
+        ``config`` should be the *requested* configuration when the
+        result crossed a process boundary: deserialized results carry a
+        config whose custom profiles were reduced to ``None``, which
+        must not be recorded as the match key."""
+        path = self.path_for(label)
+        match_config = config if config is not None else result.config
+        payload = {
+            "label": label,
+            "config": match_config.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+        return path

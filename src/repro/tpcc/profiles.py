@@ -19,6 +19,7 @@ mirroring the paper's procedure end to end.
 from __future__ import annotations
 
 import bisect
+import hashlib
 import math
 import random
 from dataclasses import dataclass
@@ -112,6 +113,17 @@ class EmpiricalDistribution(ClassProfile):
 
     def __len__(self) -> int:
         return len(self._sorted)
+
+    def __repr__(self) -> str:
+        # value-based (no object address): equal samples, equal repr —
+        # profile fingerprints in config serialization depend on this
+        digest = hashlib.sha1(
+            ",".join(repr(s) for s in self._sorted).encode()
+        ).hexdigest()[:12]
+        return (
+            f"EmpiricalDistribution(n={len(self._sorted)}, "
+            f"mean={self._mean:.6g}, sha1={digest})"
+        )
 
 
 @dataclass

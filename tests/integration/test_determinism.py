@@ -10,10 +10,11 @@ import pytest
 
 from repro.core.csrt import MEASURED
 from repro.core.experiment import Scenario, ScenarioConfig
+from repro.runner import run_campaign
 
 
-def run(seed=3, clock_mode="modeled", transactions=250):
-    config = ScenarioConfig(
+def config_for(seed=3, clock_mode="modeled", transactions=250):
+    return ScenarioConfig(
         sites=3,
         cpus_per_site=1,
         clients=45,
@@ -21,7 +22,10 @@ def run(seed=3, clock_mode="modeled", transactions=250):
         seed=seed,
         clock_mode=clock_mode,
     )
-    return Scenario(config).run()
+
+
+def run(seed=3, clock_mode="modeled", transactions=250):
+    return Scenario(config_for(seed, clock_mode, transactions)).run()
 
 
 class TestDeterminism:
@@ -45,6 +49,43 @@ class TestDeterminism:
         a = run(seed=3)
         b = run(seed=4)
         assert a.throughput_tpm() != b.throughput_tpm()
+
+    def test_sequential_workers1_and_pool_identical(self):
+        """The same config + seed yields identical metrics whether run
+        directly, through the runner in-process (workers=1), or in a
+        worker process pool — the property every parallel campaign
+        rests on."""
+        config = config_for(seed=3, transactions=150)
+        direct = Scenario(config).run()
+        (_, in_process), = run_campaign(
+            [("cell", config)], workers=1
+        ).pairs()
+        (_, pooled), = run_campaign(
+            [("cell", config)], workers=2
+        ).pairs()
+        expect = self._observables(direct)
+        assert self._observables(in_process) == expect
+        assert self._observables(pooled) == expect
+
+    @staticmethod
+    def _observables(result):
+        return {
+            "records": [
+                (r.tx_class, r.site, r.submit_time, r.end_time, r.outcome,
+                 r.certification_latency)
+                for r in result.metrics.records
+            ],
+            "commit_seqs": [
+                [seq for seq, _ in log.sequence()]
+                for log in result.commit_logs()
+            ],
+            "sim_time": result.sim_time,
+            "throughput_tpm": result.throughput_tpm(),
+            "abort_rate": result.abort_rate(),
+            "cpu_usage": result.cpu_usage(),
+            "network_kbps": result.network_kbps(),
+            "safety": result.check_safety(),
+        }
 
 
 class TestMeasuredClock:

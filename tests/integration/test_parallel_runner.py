@@ -1,0 +1,199 @@
+"""Integration: the parallel campaign runner end to end.
+
+The acceptance bar for the runner subsystem: a grid executed with
+``workers>1`` produces metrics identical to the sequential path, a
+failed cell is recorded (with its traceback) without killing the rest of
+the campaign, and a repeated invocation against the same artifact
+directory skips completed cells.
+"""
+
+import pytest
+
+from repro.core.experiment import Scenario, ScenarioConfig
+from repro.core.faults import FaultPlan
+from repro.core.scenarios import run_grid
+from repro.runner import CampaignError, run_campaign
+
+
+def grid_configs(transactions=120):
+    """A miniature Fig. 5-style grid: centralized and replicated cells."""
+    grid = []
+    for label, sites, cpus in (("1 CPU", 1, 1), ("3 Sites", 3, 1)):
+        for clients in (20, 40):
+            grid.append(
+                (
+                    f"{label} c{clients}",
+                    ScenarioConfig(
+                        sites=sites,
+                        cpus_per_site=cpus,
+                        clients=clients,
+                        transactions=transactions,
+                        seed=42 + clients,
+                    ),
+                )
+            )
+    return grid
+
+
+def observables(result):
+    """Everything a figure reads, excluding process-global tx ids."""
+    return {
+        "throughput_tpm": result.throughput_tpm(),
+        "mean_latency": result.mean_latency(),
+        "abort_rate": result.abort_rate(),
+        "cpu_usage": result.cpu_usage(),
+        "disk_usage": result.disk_usage(),
+        "network_kbps": result.network_kbps(),
+        "sim_time": result.sim_time,
+        "records": [
+            (r.tx_class, r.site, r.submit_time, r.end_time, r.outcome,
+             r.readonly, r.certification_latency, r.abort_reason)
+            for r in result.metrics.records
+        ],
+        "commit_seqs": [
+            [seq for seq, _ in log.sequence()] for log in result.commit_logs()
+        ],
+        "safety": result.check_safety(),
+    }
+
+
+class TestPoolMatchesSequential:
+    def test_pool_grid_identical_to_sequential(self):
+        grid = grid_configs()
+        sequential = [
+            (label, Scenario(config).run()) for label, config in grid
+        ]
+        in_process = run_campaign(grid, workers=1).pairs()
+        pooled = run_campaign(grid, workers=2).pairs()
+        for (label, direct), (_, single), (_, parallel) in zip(
+            sequential, in_process, pooled
+        ):
+            assert observables(single) == observables(direct), label
+            assert observables(parallel) == observables(direct), label
+
+    def test_run_grid_rewired_through_runner(self):
+        grid = grid_configs()[:2]
+        old_style = [(label, Scenario(c).run()) for label, c in grid]
+        for workers in (1, 2):
+            rewired = run_grid(grid, workers=workers)
+            assert [label for label, _ in rewired] == [l for l, _ in grid]
+            for (_, a), (_, b) in zip(old_style, rewired):
+                assert observables(a) == observables(b)
+
+
+class TestWorkerFailureIsolation:
+    #: Constructible and picklable, but Scenario assembly raises inside
+    #: the worker: a plan cannot carry both loss models.
+    BAD_PLAN = FaultPlan(random_loss_rate=0.05, bursty_loss_rate=0.05)
+
+    def failing_grid(self):
+        good = ScenarioConfig(sites=3, clients=20, transactions=100, seed=5)
+        bad = ScenarioConfig(
+            sites=3, clients=20, transactions=100, seed=5,
+            faults={0: self.BAD_PLAN},
+        )
+        return [
+            ("before", good),
+            ("poison", bad),
+            ("after", ScenarioConfig(sites=1, clients=20, transactions=100,
+                                     seed=6)),
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failed_cell_recorded_rest_completes(self, workers):
+        campaign = run_campaign(self.failing_grid(), workers=workers)
+        assert [c.status for c in campaign.cells] == ["ok", "failed", "ok"]
+        poison = campaign.get("poison")
+        assert poison.result is None
+        assert "choose either random or bursty loss" in poison.error
+        assert "Traceback" in poison.error
+        assert campaign.get("before").result.throughput_tpm() > 0
+        assert campaign.get("after").result.throughput_tpm() > 0
+
+    def test_pairs_surfaces_failure(self):
+        campaign = run_campaign(self.failing_grid()[:2], workers=1)
+        with pytest.raises(CampaignError) as excinfo:
+            campaign.pairs()
+        assert "poison" in str(excinfo.value)
+
+
+class TestResumability:
+    def test_second_invocation_skips_completed_cells(self, tmp_path, monkeypatch):
+        grid = grid_configs(transactions=80)
+        art = tmp_path / "campaign"
+        first = run_campaign(grid, workers=2, artifact_dir=art)
+        assert first.ok
+        assert {c.source for c in first.cells} == {"worker"}
+
+        # the repeat must not execute any scenario: break Scenario.run
+        # in this process and keep workers=1 so the pool cannot dodge it
+        monkeypatch.setattr(
+            Scenario, "run",
+            lambda self: pytest.fail("cell re-executed despite artifact"),
+        )
+        second = run_campaign(grid, workers=1, artifact_dir=art)
+        assert {c.source for c in second.cells} == {"artifact"}
+        for (label, a), (_, b) in zip(first.pairs(), second.pairs()):
+            assert a.throughput_tpm() == b.throughput_tpm(), label
+            assert a.check_safety() == b.check_safety(), label
+
+    def test_changed_config_invalidates_only_that_cell(self, tmp_path):
+        grid = grid_configs(transactions=80)
+        art = tmp_path / "campaign"
+        run_campaign(grid, workers=1, artifact_dir=art)
+        label0, config0 = grid[0]
+        changed = [(label0, ScenarioConfig(
+            sites=config0.sites, cpus_per_site=config0.cpus_per_site,
+            clients=config0.clients, transactions=config0.transactions,
+            seed=config0.seed + 1,
+        ))] + grid[1:]
+        second = run_campaign(changed, workers=1, artifact_dir=art)
+        assert second.get(label0).source == "in-process"
+        assert all(
+            second.get(label).source == "artifact" for label, _ in grid[1:]
+        )
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        bad = ScenarioConfig(
+            sites=3, clients=20, transactions=100, seed=5,
+            faults={0: TestWorkerFailureIsolation.BAD_PLAN},
+        )
+        art = tmp_path / "campaign"
+        first = run_campaign([("poison", bad)], workers=1, artifact_dir=art)
+        assert not first.ok
+        second = run_campaign([("poison", bad)], workers=1, artifact_dir=art)
+        assert second.get("poison").source == "in-process"  # re-attempted
+
+    def test_custom_profiles_artifact_never_matches_defaults(self, tmp_path):
+        """Pool results lose their custom profiles in transit; the
+        artifact must still be keyed on the *requested* config so a
+        default-profiles run does not false-match it (and an identical
+        custom-profiles run does)."""
+        from repro.tpcc.profiles import default_profiles
+
+        def custom():
+            return ScenarioConfig(
+                sites=1, clients=10, transactions=60, seed=3,
+                profiles=default_profiles(),
+            )
+
+        art = tmp_path / "campaign"
+        first = run_campaign([("cell", custom())], workers=2, artifact_dir=art)
+        assert first.get("cell").source == "worker"
+        again = run_campaign([("cell", custom())], workers=1, artifact_dir=art)
+        assert again.get("cell").source == "artifact"
+        defaults = ScenarioConfig(sites=1, clients=10, transactions=60, seed=3)
+        mismatch = run_campaign(
+            [("cell", defaults)], workers=1, artifact_dir=art
+        )
+        assert mismatch.get("cell").source == "in-process"
+
+    def test_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        grid = grid_configs(transactions=80)[:1]
+        first = run_campaign(grid, campaign="env-test")
+        assert first.get(grid[0][0]).source == "worker"
+        assert (tmp_path / "env-test").is_dir()
+        second = run_campaign(grid, campaign="env-test")
+        assert second.get(grid[0][0]).source == "artifact"

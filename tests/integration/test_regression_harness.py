@@ -89,6 +89,15 @@ class TestRecordCheckCycle:
             f.metric == "throughput_tpm" for f in suite.check(path)
         )
 
+    def test_parallel_suite_matches_sequential(self, tmp_path):
+        """Recording with worker processes and checking sequentially (or
+        vice versa) is clean: scenario metrics do not depend on which
+        process ran them."""
+        path = tmp_path / "baselines.json"
+        small_suite(workers=2).record(path)
+        assert small_suite(workers=1).check(path) == []
+        assert small_suite(workers=2).check(path) == []
+
     def test_empty_suite_rejected(self):
         with pytest.raises(ValueError):
             RegressionSuite({})

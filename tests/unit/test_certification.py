@@ -142,3 +142,110 @@ class TestCertifier:
         certifier.certify(request(reads=(1,), writes=(1,), start_seq=0))
         assert certifier.stats == {"certified": 2, "committed": 1, "aborted": 1}
         assert certifier.abort_ratio() == pytest.approx(0.5)
+
+
+class TestCertifierEdgeCases:
+    def test_empty_readset_commits_against_any_log(self):
+        """A blind update (empty read-set) can never fail certification,
+        however many concurrent writers touched the same tuples."""
+        certifier = Certifier()
+        for i in range(5):
+            certifier.certify(request(reads=(1,), writes=(1,), start_seq=i))
+        committed, seq = certifier.certify(
+            request(reads=(), writes=(1,), start_seq=0)
+        )
+        assert committed and seq > 0
+        assert certifier.stats["aborted"] == 0
+
+    def test_empty_readset_skips_the_merge_scan_entirely(self):
+        """The empty-read fast path returns before the log walk, so no
+        certification CPU is charged at all."""
+        charged = []
+        certifier = Certifier(charge=charged.append)
+        certifier.certify(request(reads=(1,), writes=(1,)))
+        charged.clear()
+        certifier.certify(request(reads=(), writes=(1,), start_seq=0))
+        assert charged == []
+
+    def test_empty_readset_still_appends_writes_to_log(self):
+        """Blind writes commit unchecked but their write-set must enter
+        the log — later readers have to certify against them."""
+        certifier = Certifier()
+        certifier.certify(request(reads=(), writes=(7,), start_seq=0))
+        assert certifier.log_size() == 1
+        committed, _ = certifier.certify(
+            request(reads=(7,), writes=(), start_seq=0)
+        )
+        assert not committed
+
+    def test_pure_write_write_conflict_both_commit(self):
+        """DBSM certification is read-write only (§3.3): two concurrent
+        transactions writing the same tuple with disjoint read-sets both
+        pass — the total order serializes their writes."""
+        certifier = Certifier()
+        a, seq_a = certifier.certify(
+            request(reads=(10,), writes=(1,), start_seq=0, tx_id=1)
+        )
+        b, seq_b = certifier.certify(
+            request(reads=(20,), writes=(1,), start_seq=0, tx_id=2)
+        )
+        assert a and b
+        assert (seq_a, seq_b) == (1, 2)
+
+    def test_self_certification_after_view_change_aborts_duplicate(self):
+        """View-change re-submission: the origin's transaction committed
+        just before the view change, then is re-certified with its old
+        start_seq.  Reading what it wrote, it now conflicts with its own
+        committed write-set and aborts — deterministically at every
+        replica, which is what keeps duplicates harmless."""
+        certifier = Certifier()
+        first = request(reads=(5,), writes=(5,), start_seq=0, tx_id=9)
+        committed, seq = certifier.certify(first)
+        assert committed and seq == 1
+        recommitted, again = certifier.certify(first)
+        assert not recommitted and again == -1
+
+    def test_self_certification_replicas_agree_on_duplicate(self):
+        """Two replicas certifying the same post-view-change duplicate
+        stream reach identical decisions."""
+        stream = [
+            request(reads=(5,), writes=(5,), start_seq=0, tx_id=9),
+            request(reads=(6,), writes=(6,), start_seq=0, tx_id=10),
+            request(reads=(5,), writes=(5,), start_seq=0, tx_id=9),  # dup
+        ]
+        a, b = Certifier(), Certifier()
+        assert [a.certify(r) for r in stream] == [b.certify(r) for r in stream]
+
+    def test_horizon_boundary_is_inclusive(self):
+        """A request that started exactly one commit before the pruned
+        log's first entry is still decidable; one earlier is not."""
+        certifier = Certifier(log_limit=3)
+        for i in range(6):
+            certifier.certify(
+                request(reads=(100 + i,), writes=(100 + i,), start_seq=i)
+            )
+        horizon = certifier._log[0][0]
+        committed, _ = certifier.certify(
+            request(reads=(999,), writes=(), start_seq=horizon - 1)
+        )
+        assert committed
+        with pytest.raises(CertificationError):
+            certifier.certify(
+                request(reads=(999,), writes=(), start_seq=horizon - 2)
+            )
+
+    def test_table_lock_readset_vs_unrelated_writes(self):
+        """A whole-table read lock conflicts with any concurrent write
+        into that table, but not with writes elsewhere."""
+        certifier = Certifier()
+        certifier.certify(
+            request(reads=(), writes=(make_tuple_id(3, 8),), start_seq=0)
+        )
+        ok, _ = certifier.certify(
+            request(reads=(table_lock_id(4),), writes=(), start_seq=0)
+        )
+        assert ok
+        clashed, _ = certifier.certify(
+            request(reads=(table_lock_id(3),), writes=(), start_seq=0)
+        )
+        assert not clashed

@@ -46,3 +46,85 @@ class TestTokenBucket:
             TokenBucket(rate=0.0)
         with pytest.raises(ValueError):
             TokenBucket(rate=1.0, burst=0)
+
+
+class TestTokenBucketBurstyLoad:
+    """The regime the paper's §5.3 loss campaigns push the stack into:
+    alternating silence and dense retransmission bursts."""
+
+    def test_sustained_overload_delays_grow_linearly(self):
+        """Every reservation past the burst allowance queues exactly one
+        token period behind its predecessor — no compounding, no loss of
+        spacing, however deep the backlog."""
+        bucket = TokenBucket(rate=100.0, burst=4)
+        delays = [bucket.reserve(0.0) for _ in range(12)]
+        assert delays[:4] == [0.0] * 4
+        gaps = [b - a for a, b in zip(delays[4:], delays[5:])]
+        assert gaps == pytest.approx([0.01] * len(gaps))
+
+    def test_quiet_gap_between_bursts_restores_full_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=5)
+        for _ in range(8):
+            bucket.reserve(0.0)  # burst one: 3 reservations deep in debt
+        # a long silent period (loss-free phase) clears the debt and
+        # refills to capacity, so burst two passes untouched
+        assert bucket.available(10.0) == pytest.approx(5.0)
+        second_burst = [bucket.reserve(10.0) for _ in range(5)]
+        assert second_burst == [0.0] * 5
+
+    def test_short_gap_gives_partial_recovery_only(self):
+        bucket = TokenBucket(rate=100.0, burst=4)
+        for _ in range(4):
+            bucket.reserve(0.0)
+        # 20 ms at 100 tokens/s refills 2 tokens: two pass, third waits
+        assert bucket.reserve(0.02) == 0.0
+        assert bucket.reserve(0.02) == 0.0
+        assert bucket.reserve(0.02) > 0.0
+
+    def test_debt_from_one_burst_delays_the_next(self):
+        """If the gap is shorter than the accumulated debt, the next
+        burst starts already queued — bursty arrivals cannot sneak past
+        the configured rate."""
+        bucket = TokenBucket(rate=100.0, burst=1)
+        bucket.reserve(0.0)
+        for _ in range(5):
+            bucket.reserve(0.0)  # 5 tokens of debt at t=0
+        delay = bucket.reserve(0.01)  # only 1 token refilled
+        assert delay > 0.0
+
+    def test_alternating_bursts_are_deterministic(self):
+        """Identical bursty arrival patterns produce identical delay
+        sequences — flow control cannot perturb run reproducibility."""
+
+        def pattern(bucket):
+            delays = []
+            t = 0.0
+            for burst in range(4):
+                for _ in range(6):
+                    delays.append(bucket.reserve(t))
+                t += 0.035  # silence shorter than full recovery
+            return delays
+
+        a = pattern(TokenBucket(rate=200.0, burst=3))
+        b = pattern(TokenBucket(rate=200.0, burst=3))
+        assert a == b
+
+    def test_available_never_negative_under_debt(self):
+        bucket = TokenBucket(rate=100.0, burst=1)
+        for _ in range(10):
+            bucket.reserve(0.0)
+        assert bucket.available(0.0) == 0.0
+
+    def test_time_going_backwards_does_not_refill(self):
+        """Reservations carry the runtime's clock; a stale timestamp
+        (same-instant callbacks) must not mint tokens."""
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.reserve(1.0)
+        bucket.reserve(1.0)
+        assert bucket.reserve(0.5) > 0.0
+
+    def test_stats_account_bursty_traffic(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        for _ in range(6):
+            bucket.reserve(0.0)
+        assert bucket.stats == {"passed": 2, "delayed": 4}

@@ -1,0 +1,212 @@
+"""Serialization round-trip: results must cross process boundaries and
+survive the artifact store with every log and derived metric intact."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import Scenario, ScenarioConfig, ScenarioResult
+from repro.core.faults import FaultPlan, bursty_loss, random_loss
+from repro.core.metrics import (
+    MetricsCollector,
+    ResourceSample,
+    SampleSeries,
+    TxRecord,
+)
+from repro.core.safety import CommitLog
+from repro.gcs.config import GcsConfig
+
+
+def small_result(sites=3, transactions=150, seed=9, **overrides):
+    config = ScenarioConfig(
+        sites=sites,
+        cpus_per_site=1,
+        clients=30,
+        transactions=transactions,
+        seed=seed,
+        **overrides,
+    )
+    return Scenario(config).run()
+
+
+def roundtrip(result):
+    """to_dict -> JSON text -> from_dict, as the artifact store does."""
+    return ScenarioResult.from_dict(json.loads(json.dumps(result.to_dict())))
+
+
+class TestPieceRoundTrips:
+    def test_tx_record(self):
+        record = TxRecord(
+            tx_id=7,
+            tx_class="neworder",
+            site="site0",
+            submit_time=1.25,
+            end_time=1.75,
+            outcome="abort",
+            readonly=False,
+            certification_latency=0.012,
+            abort_reason="ww-conflict",
+        )
+        assert TxRecord.from_list(record.to_list()) == record
+
+    def test_metrics_collector(self):
+        collector = MetricsCollector()
+        collector.record(
+            TxRecord(1, "payment-short", "site1", 0.0, 0.5, "commit", False)
+        )
+        clone = MetricsCollector.from_dict(collector.to_dict())
+        assert clone.records == collector.records
+
+    def test_metrics_collector_rejects_unknown_encoding(self):
+        with pytest.raises(ValueError):
+            MetricsCollector.from_dict({"fields": ["bogus"], "records": []})
+
+    def test_sample_series(self):
+        series = SampleSeries(
+            [ResourceSample(5.0, 0.5, 0.1, 0.2, 4096)], interval=5.0
+        )
+        clone = SampleSeries.from_dict(series.to_dict())
+        assert clone.samples == series.samples
+        assert clone.interval == series.interval
+        assert clone.mean_cpu() == series.mean_cpu()
+
+    def test_commit_log(self):
+        log = CommitLog(site="site2", crashed=True)
+        log.append(1, 10)
+        log.append(2, 11)
+        clone = CommitLog.from_dict(log.to_dict())
+        assert clone.sequence() == log.sequence()
+        assert clone.site == log.site
+        assert clone.crashed is True
+
+    def test_fault_plan_and_gcs_config(self):
+        plan = FaultPlan(bursty_loss_rate=0.05, bursty_loss_burst=4.0, seed=3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        gcs = GcsConfig(buffer_share=17, nack_timeout=0.5)
+        assert GcsConfig.from_dict(gcs.to_dict()) == gcs
+
+
+class TestConfigRoundTrip:
+    def test_default_config_exact(self):
+        config = ScenarioConfig(sites=3, clients=75, transactions=400, seed=5)
+        clone = ScenarioConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+        assert clone.to_dict() == config.to_dict()
+
+    def test_faulty_config_round_trips_plans(self):
+        config = ScenarioConfig(
+            sites=3,
+            clients=60,
+            transactions=300,
+            faults={
+                0: random_loss(0.05, seed=1),
+                2: bursty_loss(0.05, burst=3.0, seed=2),
+            },
+            gcs=GcsConfig(buffer_share=56),
+        )
+        clone = ScenarioConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        )
+        assert clone == config
+
+    def test_custom_profiles_fingerprinted_not_reconstructed(self):
+        from repro.tpcc.profiles import default_profiles
+
+        config = ScenarioConfig(
+            sites=1, clients=10, transactions=100, profiles=default_profiles()
+        )
+        data = config.to_dict()
+        assert isinstance(data["profiles"], str)  # stable fingerprint
+        assert data == config.to_dict()  # deterministic
+        assert ScenarioConfig.from_dict(data).profiles is None
+
+    def test_empirical_profile_fingerprint_is_value_based(self):
+        """Fingerprints hash reprs, so every ClassProfile repr must be
+        value-based — equal samples, equal fingerprint across objects
+        (and across processes: no memory addresses)."""
+        from repro.tpcc.profiles import EmpiricalDistribution
+
+        a = EmpiricalDistribution([1.0, 2.0, 3.5])
+        b = EmpiricalDistribution([3.5, 2.0, 1.0])
+        assert repr(a) == repr(b)
+        assert "0x" not in repr(a)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        result = small_result()
+        return result, roundtrip(result)
+
+    def test_derived_metrics_exact(self, pair):
+        result, clone = pair
+        assert clone.throughput_tpm() == result.throughput_tpm()
+        assert clone.mean_latency() == result.mean_latency()
+        assert clone.abort_rate() == result.abort_rate()
+        assert clone.cpu_usage() == result.cpu_usage()
+        assert clone.disk_usage() == result.disk_usage()
+        assert clone.network_kbps() == result.network_kbps()
+        assert clone.sim_time == result.sim_time
+
+    def test_records_exact(self, pair):
+        result, clone = pair
+        assert clone.metrics.records == result.metrics.records
+        assert (
+            clone.metrics.abort_rate_table() == result.metrics.abort_rate_table()
+        )
+        assert (
+            clone.metrics.certification_latencies()
+            == result.metrics.certification_latencies()
+        )
+
+    def test_commit_logs_and_safety(self, pair):
+        result, clone = pair
+        assert [log.to_dict() for log in clone.commit_logs()] == [
+            log.to_dict() for log in result.commit_logs()
+        ]
+        assert clone.check_safety() == result.check_safety()
+
+    def test_site_stats_preserved(self, pair):
+        result, clone = pair
+        assert clone.site_stats == result.site_stats
+        assert clone.site_stats  # replicated run: certifier counters exist
+        for stats in clone.site_stats.values():
+            assert stats["certified"] == stats["committed"] + stats["aborted"]
+
+    def test_capture_totals_preserved(self, pair):
+        result, clone = pair
+        assert clone.capture.total_bytes == result.capture.total_bytes
+        assert clone.capture.total_packets == result.capture.total_packets
+
+    def test_double_round_trip_stable(self, pair):
+        _, clone = pair
+        assert roundtrip(clone).to_dict() == clone.to_dict()
+
+    def test_crashed_site_round_trips(self):
+        result = small_result(
+            transactions=100,
+            faults={2: FaultPlan(crash_at=15.0)},
+            max_sim_time=400.0,
+        )
+        clone = roundtrip(result)
+        assert [log.crashed for log in clone.commit_logs()] == [
+            log.crashed for log in result.commit_logs()
+        ]
+        assert clone.check_safety() == result.check_safety()
+
+    def test_centralized_run_round_trips(self):
+        result = small_result(sites=1, transactions=100)
+        clone = roundtrip(result)
+        assert clone.commit_logs() == []
+        assert clone.check_safety() == {}
+        assert clone.throughput_tpm() == result.throughput_tpm()
+        assert clone.network_kbps() == 0.0
+
+    def test_unknown_format_rejected(self):
+        result = small_result(sites=1, transactions=100)
+        data = result.to_dict()
+        data["format"] = "repro.scenario_result/999"
+        with pytest.raises(ValueError):
+            ScenarioResult.from_dict(data)

@@ -1,0 +1,154 @@
+"""Unit tests for the campaign runner: store, progress, plumbing."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import Scenario, ScenarioConfig
+from repro.runner import (
+    ArtifactStore,
+    CampaignCell,
+    CampaignError,
+    CampaignProgress,
+    CampaignResult,
+    resolve_workers,
+    run_campaign,
+)
+from repro.runner.store import _slug
+
+
+def tiny_config(seed=3, **overrides):
+    overrides.setdefault("sites", 1)
+    overrides.setdefault("clients", 10)
+    overrides.setdefault("transactions", 60)
+    return ScenarioConfig(seed=seed, **overrides)
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_fallback_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert resolve_workers() == 1
+
+    def test_floor_at_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestArtifactStore:
+    def test_slug_is_safe_and_collision_free(self):
+        a = _slug("3 Sites c500")
+        b = _slug("3/Sites c500")
+        assert a != b
+        assert "/" not in b and " " not in a
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "campaign")
+        config = tiny_config()
+        result = Scenario(config).run()
+        store.save("cell", result)
+        loaded = store.load("cell", config)
+        assert loaded is not None
+        assert loaded.throughput_tpm() == result.throughput_tpm()
+
+    def test_missing_cell_loads_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load("absent", tiny_config()) is None
+
+    def test_config_mismatch_invalidates(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = tiny_config()
+        store.save("cell", Scenario(config).run())
+        other = tiny_config(seed=4)
+        assert store.load("cell", other) is None
+
+    def test_corrupt_artifact_ignored(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = tiny_config()
+        store.save("cell", Scenario(config).run())
+        store.path_for("cell").write_text("{not json")
+        assert store.load("cell", config) is None
+
+    def test_artifact_is_plain_json(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = tiny_config()
+        path = store.save("cell", Scenario(config).run())
+        data = json.loads(path.read_text())
+        assert data["label"] == "cell"
+        assert data["config"]["seed"] == config.seed
+
+
+class TestCampaignProgress:
+    def test_eta_uses_executed_cells_only(self):
+        clock = iter([0.0, 1.0, 2.0, 3.0]).__next__
+        progress = CampaignProgress(total=4, workers=1, clock=clock)
+        event = progress.event("a", "ok", "artifact", 0.0)
+        assert event.eta is None  # cache hits say nothing about cost
+        event = progress.event("b", "ok", "in-process", 2.0)
+        assert event.eta == pytest.approx(2.0 * 2)  # 2 left at 2s each
+        assert event.done == 2 and event.total == 4
+
+    def test_eta_divides_by_workers(self):
+        progress = CampaignProgress(total=5, workers=4)
+        progress.event("a", "ok", "worker", 8.0)
+        assert progress.eta() == pytest.approx(8.0 * 4 / 4)
+
+    def test_printer_emits_one_line_per_cell(self, capsys):
+        import sys
+
+        progress = CampaignProgress(total=1, workers=1, stream=sys.stderr)
+        progress(progress.event("cell", "ok", "in-process", 0.5))
+        err = capsys.readouterr().err
+        assert "[1/1]" in err and "cell" in err
+
+
+class TestCampaignResult:
+    def test_pairs_raises_on_failure_with_labels(self):
+        cells = [
+            CampaignCell("good", "ok", None, None, 0.0, "in-process"),
+            CampaignCell("bad", "failed", None, "Boom\nValueError: x", 0.0,
+                         "worker"),
+        ]
+        campaign = CampaignResult(cells)
+        assert not campaign.ok
+        with pytest.raises(CampaignError) as excinfo:
+            campaign.pairs()
+        assert "bad" in str(excinfo.value)
+        assert "ValueError: x" in str(excinfo.value)
+
+    def test_get_by_label(self):
+        cell = CampaignCell("a", "ok", None, None, 0.0, "in-process")
+        assert CampaignResult([cell]).get("a") is cell
+        with pytest.raises(KeyError):
+            CampaignResult([cell]).get("b")
+
+
+class TestRunCampaignInProcess:
+    def test_duplicate_labels_rejected(self):
+        grid = [("same", tiny_config()), ("same", tiny_config())]
+        with pytest.raises(ValueError):
+            run_campaign(grid, workers=1)
+
+    def test_empty_grid(self):
+        campaign = run_campaign([], workers=1)
+        assert campaign.cells == [] and campaign.ok
+
+    def test_order_preserved_and_events_fire(self):
+        events = []
+        grid = [(f"cell{i}", tiny_config(seed=3 + i)) for i in range(3)]
+        campaign = run_campaign(grid, workers=1, progress=events.append)
+        assert [c.label for c in campaign.cells] == ["cell0", "cell1", "cell2"]
+        assert [c.source for c in campaign.cells] == ["in-process"] * 3
+        assert len(events) == 3
+        assert events[-1].done == 3 and events[-1].total == 3
