@@ -14,7 +14,7 @@ import statistics
 
 import pytest
 
-from conftest import print_table
+from conftest import assert_paper_shapes, bench_protocol, print_table
 
 from repro.core.experiment import Scenario
 from repro.core.metrics import quantiles
@@ -31,6 +31,7 @@ def fault_runs():
             sites=3,
             transactions=scaled_transactions(),
             seed=77,
+            protocol=bench_protocol(),
             sample_interval=2.0,
             drain_time=8.0,
         )
@@ -68,6 +69,8 @@ def test_fig7a_latency_ecdf(benchmark, fault_runs):
         ("quantile", "no faults", "random 5%", "bursty 5%"),
         rows,
     )
+    if not assert_paper_shapes():
+        return  # shapes below are calibrated against the paper's dbsm runs
     # loss shifts the body of the distribution right: the median and
     # upper quartile under random loss clearly exceed the fault-free run
     p50 = {k: rows_by_kind[k][2] for k in rows_by_kind}
@@ -101,6 +104,8 @@ def test_fig7b_certification_ecdf(benchmark, fault_runs):
         ("quantile", "no faults", "random 5%", "bursty 5%"),
         rows,
     )
+    if not assert_paper_shapes():
+        return  # shapes below are calibrated against the paper's dbsm runs
     median_none = rows_by_kind["none"][2]
     p90_random = rows_by_kind["random"][-2]
     # the tail under random loss reaches tens of the fault-free median —
@@ -125,6 +130,8 @@ def test_fig7c_protocol_cpu(benchmark, fault_runs):
     benchmark.pedantic(lambda: dict(usage), rounds=1, iterations=1)
     rows = [(kind, f"{value:5.2f}") for kind, value in usage.items()]
     print_table("Figure 7(c): CPU usage by protocol jobs (%)", ("run", "usage"), rows)
+    if not assert_paper_shapes():
+        return  # shapes below are calibrated against the paper's dbsm runs
     # retransmission work raises protocol CPU under loss (paper: 1.22 ->
     # ~1.90); both loss kinds land in the same band
     assert usage["random"] > 1.2 * usage["none"]
@@ -140,6 +147,8 @@ def test_fig7_stability_backlog_diagnosis(benchmark, fault_runs):
     unstable-message backlogs grow toward the buffer shares — the
     precondition of the sequencer blocking the paper observes (its
     mitigation, a larger share, is the ablation bench)."""
+    if not assert_paper_shapes():
+        pytest.skip("stability-backlog diagnosis characterizes the dbsm prototype")
     peaks = benchmark.pedantic(
         lambda: {
             kind: max(

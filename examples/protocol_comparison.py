@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Cross-protocol comparison: DBSM certification vs primary-copy.
+
+Runs the same 3-site / 500-client cell under every registered
+replication protocol — identical workload, seed, network and fault-free
+conditions; only the protocol differs — and prints the throughput /
+latency / abort-rate comparison the pluggable protocol layer exists
+for.
+
+Expected shape: at this load the deferred-update DBSM spreads update
+execution over all sites, while primary-copy funnels every update
+through one primary — so DBSM sustains higher throughput and lower
+latency, and primary-copy's aborts are write-lock conflicts piling up
+at the primary rather than certification failures.
+
+Set ``REPRO_WORKERS=2`` to run the protocols in parallel worker
+processes (results are deterministic and identical either way).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import ScenarioConfig, available_protocols
+from repro.runner import resolve_workers, run_campaign
+
+SITES = 3
+CLIENTS = 500
+TRANSACTIONS = 1500
+
+
+def main() -> None:
+    protocols = available_protocols()
+    workers = resolve_workers()
+    print(
+        f"{SITES} sites, {CLIENTS} clients, {TRANSACTIONS} transactions "
+        f"per protocol, {workers} worker(s)\n"
+    )
+    grid = [
+        (
+            protocol,
+            ScenarioConfig(
+                sites=SITES,
+                cpus_per_site=1,
+                clients=CLIENTS,
+                transactions=TRANSACTIONS,
+                seed=2005,
+                protocol=protocol,
+            ),
+        )
+        for protocol in protocols
+    ]
+    campaign = run_campaign(grid, workers=workers, progress=workers > 1)
+    print(
+        f"{'protocol':<14s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
+        f"{'cpu':>6s} {'proto cpu':>9s} {'net KB/s':>9s}"
+    )
+    for protocol, result in campaign.pairs():
+        result.check_safety()  # identical commit sequences at all sites
+        total_cpu, protocol_cpu = result.cpu_usage()
+        print(
+            f"{protocol:<14s} {result.throughput_tpm():8.1f} "
+            f"{result.mean_latency() * 1000:7.1f}ms "
+            f"{result.abort_rate():6.2f}% "
+            f"{total_cpu * 100:5.1f}% "
+            f"{protocol_cpu * 100:8.2f}% "
+            f"{result.network_kbps():9.1f}"
+        )
+    print(
+        "\nsame workload, same group-communication substrate — the "
+        "protocol is the only variable; both runs passed the §5.3 "
+        "1-copy-serializability check"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,11 @@ from .core import (
     scheduling_latency,
 )
 from .gcs import GcsConfig
+from .protocols import (
+    ReplicationProtocol,
+    available_protocols,
+    register_protocol,
+)
 from .runner import CampaignError, CampaignResult, run_campaign
 from .tpcc import ProfileSet, TpccWorkload, default_profiles
 
@@ -63,6 +68,9 @@ __all__ = [
     "random_loss",
     "scheduling_latency",
     "GcsConfig",
+    "ReplicationProtocol",
+    "available_protocols",
+    "register_protocol",
     "CampaignError",
     "CampaignResult",
     "run_campaign",

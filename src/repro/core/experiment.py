@@ -3,9 +3,10 @@
 One :class:`Scenario` builds an entire experiment from a declarative
 :class:`ScenarioConfig`: the SSF-style simulator, the network fabric,
 per-site CPU pools / storage / lock manager / database server, the
-centralized runtime and protocol stack (for replicated configurations),
-the TPC-C client population, fault injectors, and the observation
-machinery.  ``Scenario.run()`` executes until the configured number of
+centralized runtime, GCS stack and replication protocol (for replicated
+configurations — looked up by name in :mod:`repro.protocols`, so the
+same grid runs under any registered protocol), the TPC-C client
+population, fault injectors, and the observation machinery.  ``Scenario.run()`` executes until the configured number of
 transactions completed (plus a drain window) and returns a
 :class:`ScenarioResult` with every log the paper's figures need.
 
@@ -24,13 +25,18 @@ from typing import Dict, List, Optional, Tuple
 from ..db.lock import LockManager
 from ..db.server import DatabaseServer
 from ..db.storage import Storage
-from ..dbsm.replica import Replica
 from ..gcs.config import GcsConfig
 from ..gcs.stack import GroupCommunication
 from ..net.address import Endpoint, GroupAddress
 from ..net.capture import PacketCapture
 from ..net.network import Network
 from ..net.udp import UdpSocket
+from ..protocols.base import (
+    ProtocolContext,
+    ProtocolGroup,
+    ReplicationProtocol,
+    build_protocol,
+)
 from ..tpcc.client import ClientPool
 from ..tpcc.profiles import ProfileSet, default_profiles
 from ..tpcc.schema import warehouses_for_clients
@@ -41,6 +47,7 @@ from .csrt import MODELED, SiteRuntime
 from .faults import FaultInjector, FaultPlan
 from .kernel import Simulator
 from .metrics import MetricsCollector, ResourceSampler, SampleSeries
+from .rng import derive_rng, derive_seed
 from .runtime_api import SimulatedProtocolRuntime
 from .safety import CommitLog, check_consistency
 
@@ -62,6 +69,10 @@ class ScenarioConfig:
     #: Stop after this many client transactions completed (commit+abort).
     transactions: int = 2000
     seed: int = 42
+    #: Replication protocol wired behind replicated configurations
+    #: (``sites > 1``); see :mod:`repro.protocols`.  Centralized
+    #: baselines ignore it.
+    protocol: str = "dbsm"
     profiles: Optional[ProfileSet] = None
     gcs: GcsConfig = field(default_factory=GcsConfig)
     #: Site index -> fault plan (sites without an entry run fault-free).
@@ -88,6 +99,8 @@ class ScenarioConfig:
             raise ValueError("sites, cpus and clients must be positive")
         if self.transactions < 1:
             raise ValueError("transactions must be positive")
+        if not self.protocol or not isinstance(self.protocol, str):
+            raise ValueError("protocol must be a non-empty protocol name")
 
     # ------------------------------------------------------------------
     # serialization (runner artifacts, resume-matching)
@@ -154,7 +167,7 @@ class Site:
     workload: TpccWorkload
     runtime: Optional[SiteRuntime] = None
     gcs: Optional[GroupCommunication] = None
-    replica: Optional[Replica] = None
+    replica: Optional[ReplicationProtocol] = None
     injector: Optional[FaultInjector] = None
 
 
@@ -186,13 +199,11 @@ class ScenarioResult:
         self._commit_logs: List[CommitLog] = [
             s.replica.commit_log for s in sites if s.replica is not None
         ]
-        #: Per-site protocol counters (certifier + replica), kept by
-        #: value so they survive serialization.
+        #: Per-site protocol counters (protocol-specific; e.g. the
+        #: certifier's for "dbsm"), kept by value so they survive
+        #: serialization.
         self.site_stats: Dict[str, Dict[str, int]] = {
-            s.server.name: {
-                **s.replica.certifier.stats,
-                **s.replica.stats,
-            }
+            s.server.name: s.replica.protocol_stats()
             for s in sites
             if s.replica is not None
         }
@@ -297,6 +308,7 @@ class Scenario:
         self.profiles = config.profiles or default_profiles()
         self.sites: List[Site] = []
         self._group = GroupAddress("dbsm", _GROUP_PORT)
+        self._protocol_group = ProtocolGroup()
         self._build_sites()
         self.sampler = ResourceSampler(
             self.sim,
@@ -339,7 +351,6 @@ class Scenario:
         first_client_id: int,
     ) -> Site:
         config = self.config
-        import random as _random
 
         name = f"site{index}"
         cpus = CpuPool(self.sim, config.cpus_per_site, name=f"{name}.cpu")
@@ -349,7 +360,7 @@ class Scenario:
             sector_latency=config.storage_sector_latency,
             concurrency=config.storage_concurrency,
             cache_hit_ratio=config.storage_cache_hit_ratio,
-            rng=_random.Random(config.seed * 1000 + index),
+            rng=derive_rng(config.seed, "storage", index),
         )
         locks = LockManager(self.sim, f"{name}.locks")
         server = DatabaseServer(
@@ -358,7 +369,7 @@ class Scenario:
         workload = TpccWorkload(
             warehouses=warehouses_for_clients(config.clients),
             profiles=self.profiles,
-            rng=_random.Random(config.seed * 77 + index),
+            rng=derive_rng(config.seed, "workload", index),
             site_index=index,
             site_count=config.sites,
             readset_escalation_threshold=config.readset_escalation_threshold,
@@ -374,7 +385,12 @@ class Scenario:
         if replicated:
             self._attach_replication(site, members, endpoint_ids)
         site.clients = ClientPool(
-            self.sim, server, workload, clients, first_id=first_client_id
+            self.sim,
+            server,
+            workload,
+            clients,
+            first_id=first_client_id,
+            submit=site.replica.client_submit if site.replica else None,
         )
         return site
 
@@ -402,7 +418,7 @@ class Scenario:
         runtime.network_send = socket.send
         socket.set_receiver(runtime.deliver)
         protocol_runtime = SimulatedProtocolRuntime(
-            runtime, members[index], seed=config.seed * 13 + index
+            runtime, members[index], seed=derive_seed(config.seed, "protocol", index)
         )
         group_dest = (
             self._group
@@ -417,7 +433,17 @@ class Scenario:
             config=config.gcs,
             endpoint_ids=endpoint_ids,
         )
-        replica = Replica(index, site.server, gcs, runtime)
+        replica = build_protocol(
+            config.protocol,
+            ProtocolContext(
+                site_id=index,
+                server=site.server,
+                gcs=gcs,
+                runtime=runtime,
+                config=config,
+                group=self._protocol_group,
+            ),
+        )
         site.runtime = runtime
         site.gcs = gcs
         site.replica = replica

@@ -1,0 +1,61 @@
+"""Deterministic seed-stream derivation for scenario assembly.
+
+Every component that needs randomness derives it from the scenario seed
+through a *named stream*: ``derive_rng(seed, "storage", site_index)``.
+Each stream owns a registered multiplier, and registration rejects both
+duplicate names and duplicate multipliers, so independently developed
+components — new replication protocols in particular — cannot
+accidentally collide seed streams and silently correlate their
+randomness.
+
+The multipliers reproduce the historical hand-rolled
+``random.Random(seed * K + index)`` derivations bit-for-bit, so every
+existing scenario's results are unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+__all__ = ["derive_seed", "derive_rng", "register_stream", "stream_multiplier"]
+
+#: stream name -> multiplier; seeds derive as ``seed * multiplier + index``.
+_STREAMS: Dict[str, int] = {
+    "storage": 1000,  # per-site storage latency jitter
+    "workload": 77,  # per-site TPC-C generation and client think times
+    "protocol": 13,  # per-site protocol-runtime randomness
+    "faults": 31,  # per-site fault-plan (loss model) seeds
+}
+
+
+def register_stream(stream: str, multiplier: int) -> None:
+    """Register a new seed stream; collisions are errors, not warnings."""
+    if stream in _STREAMS:
+        raise ValueError(f"seed stream {stream!r} already registered")
+    if multiplier in _STREAMS.values():
+        owner = next(k for k, v in _STREAMS.items() if v == multiplier)
+        raise ValueError(
+            f"multiplier {multiplier} already used by stream {owner!r}"
+        )
+    _STREAMS[stream] = multiplier
+
+
+def stream_multiplier(stream: str) -> int:
+    try:
+        return _STREAMS[stream]
+    except KeyError:
+        known = ", ".join(sorted(_STREAMS))
+        raise ValueError(
+            f"unknown seed stream {stream!r} (registered: {known})"
+        ) from None
+
+
+def derive_seed(seed: int, stream: str, index: int = 0) -> int:
+    """The derived integer seed of ``(seed, stream, index)``."""
+    return seed * stream_multiplier(stream) + index
+
+
+def derive_rng(seed: int, stream: str, index: int = 0) -> random.Random:
+    """A ``random.Random`` seeded from the named stream."""
+    return random.Random(derive_seed(seed, stream, index))

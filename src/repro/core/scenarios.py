@@ -20,11 +20,13 @@ full benchmark suite in laptop territory while preserving every shape.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..gcs.config import GcsConfig
 from .faults import FaultPlan, bursty_loss, clock_drift, random_loss, scheduling_latency
 from .experiment import ScenarioConfig, ScenarioResult
+from .rng import derive_seed
 
 __all__ = [
     "PAPER_TRANSACTIONS",
@@ -55,13 +57,44 @@ SYSTEM_CONFIGS: Tuple[Tuple[str, int, int], ...] = (
 CLIENT_LEVELS: Tuple[int, ...] = (100, 500, 1000, 1500, 2000)
 
 
+#: ``scale()`` complaints already issued, keyed by the offending value —
+#: each distinct misconfiguration warns exactly once per process.
+_SCALE_WARNED: set = set()
+
+
+def _warn_scale_once(key: Tuple[str, str], message: str) -> None:
+    if key in _SCALE_WARNED:
+        return
+    _SCALE_WARNED.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def scale() -> float:
-    """The run-size scale factor from ``REPRO_SCALE`` (default 0.3)."""
+    """The run-size scale factor from ``REPRO_SCALE`` (default 0.3).
+
+    An unparseable value falls back to the default, and an out-of-range
+    value is clamped to [0.01, 1.0] — each with a warning (once per
+    distinct value) instead of silently, so a typo like
+    ``REPRO_SCALE=O.5`` cannot quietly shrink a campaign.
+    """
+    raw = os.environ.get("REPRO_SCALE", "0.3")
     try:
-        value = float(os.environ.get("REPRO_SCALE", "0.3"))
+        value = float(raw)
+        if value != value:  # NaN: parseable but meaningless
+            raise ValueError(raw)
     except ValueError:
+        _warn_scale_once(
+            ("unparseable", raw),
+            f"REPRO_SCALE={raw!r} is not a number; using the default 0.3",
+        )
         return 0.3
-    return max(0.01, min(value, 1.0))
+    clamped = max(0.01, min(value, 1.0))
+    if clamped != value:
+        _warn_scale_once(
+            ("clamped", raw),
+            f"REPRO_SCALE={raw} is outside [0.01, 1.0]; clamped to {clamped}",
+        )
+    return clamped
 
 
 def scaled_transactions(base: int = PAPER_TRANSACTIONS) -> int:
@@ -74,15 +107,17 @@ def performance_config(
     clients: int,
     transactions: Optional[int] = None,
     seed: int = 42,
+    protocol: str = "dbsm",
     **overrides,
 ) -> ScenarioConfig:
-    """One point of the Figure 5/6 grid."""
+    """One point of the Figure 5/6 grid (per replication protocol)."""
     return ScenarioConfig(
         sites=sites,
         cpus_per_site=cpus_per_site,
         clients=clients,
         transactions=transactions or scaled_transactions(),
         seed=seed,
+        protocol=protocol,
         **overrides,
     )
 
@@ -113,9 +148,10 @@ def fault_config(
     transactions: Optional[int] = None,
     seed: int = 42,
     rate: float = 0.05,
+    protocol: str = "dbsm",
     **overrides,
 ) -> ScenarioConfig:
-    """One cell of the Figure 7 / Table 2 fault grid.
+    """One cell of the Figure 7 / Table 2 fault grid (per protocol).
 
     ``kind`` is one of ``"none"``, ``"random"``, ``"bursty"`` — the loss
     is injected at every site, as in the paper (independent loss at each
@@ -125,9 +161,15 @@ def fault_config(
     if kind == "none":
         faults: Dict[int, FaultPlan] = {}
     elif kind == "random":
-        faults = {i: random_loss(rate, seed=seed * 31 + i) for i in range(sites)}
+        faults = {
+            i: random_loss(rate, seed=derive_seed(seed, "faults", i))
+            for i in range(sites)
+        }
     elif kind == "bursty":
-        faults = {i: bursty_loss(rate, seed=seed * 31 + i) for i in range(sites)}
+        faults = {
+            i: bursty_loss(rate, seed=derive_seed(seed, "faults", i))
+            for i in range(sites)
+        }
     else:
         raise ValueError(f"unknown fault kind {kind!r}")
     overrides.setdefault("gcs", prototype_gcs_config())
@@ -137,6 +179,7 @@ def fault_config(
         clients=clients,
         transactions=transactions or scaled_transactions(),
         seed=seed,
+        protocol=protocol,
         faults=faults,
         **overrides,
     )

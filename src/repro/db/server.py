@@ -32,7 +32,12 @@ from .transactions import (
     TxStatus,
 )
 
-__all__ = ["DatabaseServer", "TerminationProtocol", "LocalTermination"]
+__all__ = [
+    "DatabaseServer",
+    "TerminationProtocol",
+    "LocalTermination",
+    "WatermarkTracker",
+]
 
 
 class TerminationProtocol:
@@ -65,7 +70,7 @@ class LocalTermination(TerminationProtocol):
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._next_seq = 0
-        self._watermark_tracker = _WatermarkTracker()
+        self._watermark_tracker = WatermarkTracker()
 
     def submit(self, tx: Transaction) -> Signal:
         signal = Signal(self.sim, latch=True)
@@ -81,8 +86,14 @@ class LocalTermination(TerminationProtocol):
         self._watermark_tracker.mark(global_seq)
 
 
-class _WatermarkTracker:
-    """Advances a contiguous high-watermark over out-of-order completions."""
+class WatermarkTracker:
+    """Advances a contiguous high-watermark over out-of-order completions.
+
+    Shared by every termination protocol: committed sequence numbers are
+    marked as their transactions finish applying (possibly out of
+    order), and ``watermark`` is the highest ``g`` such that everything
+    up to ``g`` has been applied — the ``start_seq`` snapshot new
+    transactions take."""
 
     def __init__(self) -> None:
         self.watermark = 0
@@ -134,18 +145,25 @@ class DatabaseServer(Entity):
         self,
         spec: TransactionSpec,
         on_done: Optional[Callable[[Transaction], None]] = None,
+        submitted_at: Optional[float] = None,
     ) -> Transaction:
         """Start executing ``spec`` on behalf of a local client.
 
         ``on_done`` is called once, with the finished transaction, after
-        commit or abort — the client model uses it to unblock."""
+        commit or abort — the client model uses it to unblock.
+        ``submitted_at`` backdates the transaction's recorded submission
+        time — protocols that route requests over the network pass the
+        instant the client issued the request, so transit time counts
+        toward the measured latency."""
         tx = Transaction(spec, self.name)
-        self.sim.process(self._run_local(tx, on_done), name=f"tx{tx.tx_id}")
+        self.sim.process(
+            self._run_local(tx, on_done, submitted_at), name=f"tx{tx.tx_id}"
+        )
         return tx
 
-    def _run_local(self, tx: Transaction, on_done):
+    def _run_local(self, tx: Transaction, on_done, submitted_at=None):
         spec = tx.spec
-        tx.submit_time = self.now
+        tx.submit_time = self.now if submitted_at is None else submitted_at
         tx.status = TxStatus.EXECUTING
         tx.start_seq = self.termination.applied_watermark()
 

@@ -19,6 +19,8 @@ import struct
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..db.transactions import TransactionSpec
+
 __all__ = ["CommitRequest", "marshal_request", "unmarshal_request"]
 
 _HEADER = struct.Struct("<HQQdIHII")  # origin, tx_id, start_seq, commit_cpu,
@@ -38,6 +40,21 @@ class CommitRequest:
     write_bytes: int  # total size of written values (padding length)
     commit_cpu: float
     commit_sectors: int
+
+    def remote_spec(self, cpu_factor: float) -> TransactionSpec:
+        """The apply-side reconstruction every replication protocol
+        performs on delivery: install the already-computed writes and
+        run the commit record — no parsing, planning or execution, so
+        only ``cpu_factor`` of the profiled commit cost is charged."""
+        return TransactionSpec(
+            tx_class=self.tx_class,
+            operations=(),
+            read_set=self.read_set,
+            write_set=self.write_set,
+            write_sizes={},
+            commit_cpu=self.commit_cpu * cpu_factor,
+            commit_sectors=self.commit_sectors,
+        )
 
 
 def marshal_request(req: CommitRequest) -> bytes:

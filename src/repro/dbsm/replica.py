@@ -20,13 +20,14 @@ from typing import Callable, Dict, Optional, Tuple
 from ..core.csrt import SiteRuntime
 from ..core.kernel import Signal
 from ..core.safety import CommitLog
-from ..db.server import DatabaseServer, TerminationProtocol
-from ..db.transactions import Outcome, Transaction, TransactionSpec
+from ..db.server import DatabaseServer, WatermarkTracker
+from ..db.transactions import Outcome, Transaction
 from ..gcs.stack import GroupCommunication
+from ..protocols.base import ReplicationProtocol
 from .certification import Certifier
 from .marshal import CommitRequest, marshal_request, unmarshal_request
 
-__all__ = ["Replica"]
+__all__ = ["Replica", "broadcast_commit_request"]
 
 #: CPU fraction of the profiled commit cost charged when applying a
 #: remote transaction: the apply path only installs already-computed
@@ -36,22 +37,53 @@ __all__ = ["Replica"]
 REMOTE_APPLY_CPU_FACTOR = 0.4
 
 
-class _WatermarkTracker:
-    """Contiguous applied-sequence watermark (see ``start_seq`` semantics)."""
+def broadcast_commit_request(
+    protocol: ReplicationProtocol,
+    tx: Transaction,
+    read_set: Tuple[int, ...],
+) -> Tuple[Signal, int]:
+    """The broadcast side of a termination protocol's ``submit``.
 
-    def __init__(self) -> None:
-        self.watermark = 0
-        self._pending: set = set()
+    Gathers the committing transaction's data into a
+    :class:`CommitRequest`, registers the pending outcome under
+    ``protocol._pending``, and atomically multicasts — marshaling runs
+    as a real protocol job charged to the site's CPU.  Shared by every
+    protocol that ships write-sets through the GCS; ``read_set`` is what
+    differs (dbsm certifies reads, primary-copy ships none).
 
-    def mark(self, seq: int) -> None:
-        self._pending.add(seq)
-        while self.watermark + 1 in self._pending:
-            self._pending.discard(self.watermark + 1)
-            self.watermark += 1
+    Returns ``(outcome signal, payload bytes)``; zero bytes means the
+    site is crashed and the signal will never fire (clients of a dead
+    site block).
+    """
+    outcome = Signal(protocol.server.sim, latch=True)
+    if protocol.crashed:
+        return outcome, 0
+    spec = tx.spec
+    request = CommitRequest(
+        origin=protocol.site_id,
+        tx_id=tx.tx_id,
+        start_seq=tx.start_seq,
+        tx_class=spec.tx_class,
+        read_set=read_set,
+        write_set=spec.write_set,
+        write_bytes=spec.write_bytes(),
+        commit_cpu=spec.commit_cpu,
+        commit_sectors=spec.commit_sectors,
+    )
+    protocol._pending[tx.tx_id] = (tx, outcome)
+    payload = marshal_request(request)
+    protocol.runtime.submit_real(
+        lambda: protocol.gcs.multicast(payload),
+        tag="marshal",
+        nbytes=len(payload),
+    )
+    return outcome, len(payload)
 
 
-class Replica(TerminationProtocol):
-    """One site of the replicated database."""
+class Replica(ReplicationProtocol):
+    """One site of the replicated database (registry name ``"dbsm"``)."""
+
+    name = "dbsm"
 
     def __init__(
         self,
@@ -68,7 +100,7 @@ class Replica(TerminationProtocol):
         self.certifier = Certifier(charge=site_runtime.rt_charge)
         self.commit_log = commit_log or CommitLog(site=server.name)
         self.crashed = False
-        self._watermark = _WatermarkTracker()
+        self._watermark = WatermarkTracker()
         #: tx_id -> (transaction, outcome signal) awaiting certification.
         self._pending: Dict[int, Tuple[Transaction, Signal]] = {}
         self.stats = {
@@ -89,29 +121,9 @@ class Replica(TerminationProtocol):
 
         Marshaling and the multicast run as a real protocol job charged
         to this site's CPU."""
-        outcome = Signal(self.server.sim, latch=True)
-        if self.crashed:
-            return outcome  # never fires: clients of a dead site block
-        spec = tx.spec
-        request = CommitRequest(
-            origin=self.site_id,
-            tx_id=tx.tx_id,
-            start_seq=tx.start_seq,
-            tx_class=spec.tx_class,
-            read_set=spec.read_set,
-            write_set=spec.write_set,
-            write_bytes=spec.write_bytes(),
-            commit_cpu=spec.commit_cpu,
-            commit_sectors=spec.commit_sectors,
-        )
-        self._pending[tx.tx_id] = (tx, outcome)
-        self.stats["submitted"] += 1
-        payload = marshal_request(request)
-        self.runtime.submit_real(
-            lambda: self.gcs.multicast(payload),
-            tag="marshal",
-            nbytes=len(payload),
-        )
+        outcome, nbytes = broadcast_commit_request(self, tx, tx.spec.read_set)
+        if nbytes:
+            self.stats["submitted"] += 1
         return outcome
 
     def applied_watermark(self) -> int:
@@ -151,15 +163,7 @@ class Replica(TerminationProtocol):
 
     def _apply_remote(self, request: CommitRequest, commit_seq: int) -> None:
         self.stats["certified_remote"] += 1
-        spec = TransactionSpec(
-            tx_class=request.tx_class,
-            operations=(),
-            read_set=request.read_set,
-            write_set=request.write_set,
-            write_sizes={},
-            commit_cpu=request.commit_cpu * REMOTE_APPLY_CPU_FACTOR,
-            commit_sectors=request.commit_sectors,
-        )
+        spec = request.remote_spec(REMOTE_APPLY_CPU_FACTOR)
         tx = Transaction(spec, self.server.name, remote=True)
         tx.global_seq = commit_seq
         tx.submit_time = self.runtime.rt_now()
@@ -171,9 +175,6 @@ class Replica(TerminationProtocol):
         if global_seq > 0:
             self._watermark.mark(global_seq)
 
-    def crash(self) -> None:
-        """Stop the site (fault injection §5.3): the runtime boundary is
-        sealed and the commit log freezes exactly at the crash point."""
-        self.crashed = True
-        self.commit_log.crashed = True
-        self.runtime.crash()
+    def protocol_stats(self) -> Dict[str, int]:
+        """Certifier counters merged with the replica's own."""
+        return {**self.certifier.stats, **self.stats}

@@ -1,0 +1,28 @@
+"""Pluggable replication protocols (registry + built-in implementations).
+
+``"dbsm"`` — the paper's certification-based Database State Machine
+(:mod:`repro.dbsm.replica` behind the registry); ``"primary-copy"`` —
+passive replication on the same group-communication substrate
+(:mod:`repro.protocols.primary_copy`).  See :mod:`repro.protocols.base`
+for how to add a protocol.
+"""
+
+from .base import (
+    ProtocolContext,
+    ProtocolGroup,
+    ReplicationProtocol,
+    available_protocols,
+    build_protocol,
+    get_protocol,
+    register_protocol,
+)
+
+__all__ = [
+    "ProtocolContext",
+    "ProtocolGroup",
+    "ReplicationProtocol",
+    "available_protocols",
+    "build_protocol",
+    "get_protocol",
+    "register_protocol",
+]

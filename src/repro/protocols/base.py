@@ -1,0 +1,195 @@
+"""The pluggable replication-protocol layer.
+
+The paper's testbed exists to evaluate group-communication-based
+replication *protocols* — plural.  This module is the seam that makes
+the protocol a first-class experiment axis: a registry maps a protocol
+name (``ScenarioConfig.protocol``) to a builder that wires one site's
+database server, group-communication stack and runtime into a
+:class:`ReplicationProtocol` instance.  Scenario assembly looks the
+protocol up by name, so the same performance and fault grids run under
+any registered protocol and compare side by side.
+
+Adding a protocol:
+
+1. subclass :class:`ReplicationProtocol` — implement the server-facing
+   ``submit``/``applied_watermark`` (inherited from
+   :class:`~repro.db.server.TerminationProtocol`), ``crash`` and
+   ``protocol_stats``, and override ``client_submit`` if client requests
+   need routing (see ``primary_copy``);
+2. register a builder: ``register_protocol("my-proto", build_fn)`` where
+   ``build_fn(ctx: ProtocolContext)`` returns the per-site instance;
+3. give it a smoke cell: the runner's smoke grid enumerates the registry
+   automatically, and a unit test fails any registered protocol that has
+   no smoke cell.
+
+Builders for the built-in protocols (``"dbsm"``, ``"primary-copy"``)
+are registered lazily on first lookup, keeping import order free of
+cycles with the modules they wire together.
+
+Registration is per-process.  To run a custom protocol through the
+campaign runner with ``workers > 1``, put the ``register_protocol``
+call in an importable module and import it from worker code too (e.g.
+via an ``initializer`` or a conftest) — under spawn/forkserver start
+methods a worker process re-imports ``repro`` fresh and only the
+built-ins register themselves.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.safety import CommitLog
+from ..db.server import DatabaseServer, TerminationProtocol
+from ..db.transactions import Transaction, TransactionSpec
+
+__all__ = [
+    "ReplicationProtocol",
+    "ProtocolContext",
+    "ProtocolGroup",
+    "register_protocol",
+    "get_protocol",
+    "build_protocol",
+    "available_protocols",
+]
+
+OnDone = Callable[[Transaction], None]
+
+
+class ReplicationProtocol(TerminationProtocol):
+    """One site's replication-protocol instance.
+
+    The server sees it as its :class:`TerminationProtocol`; the scenario
+    additionally uses it to route client requests, to crash the site,
+    and to collect the commit log and protocol counters after the run.
+    """
+
+    #: Registry name of the protocol this instance implements.
+    name: str = "?"
+    #: The site's ordered commit decisions (§5.3 safety checking).
+    commit_log: CommitLog
+    #: Set once the site has been crashed by fault injection.
+    crashed: bool = False
+    #: The site's database server.
+    server: DatabaseServer
+    #: The site's :class:`~repro.core.csrt.SiteRuntime` (typed loosely
+    #: to keep this module import-light).
+    runtime: Any
+
+    # ------------------------------------------------------------------
+    def client_submit(self, spec: TransactionSpec, on_done: OnDone) -> None:
+        """Route one client transaction request.
+
+        The default is what every symmetric (update-everywhere) protocol
+        wants: execute on the client's own site.  Asymmetric protocols
+        override this — primary-copy sends updates to the primary.
+        """
+        self.server.submit(spec, on_done=on_done)
+
+    def crash(self) -> None:
+        """Stop the site (fault injection §5.3): the runtime boundary is
+        sealed and the commit log freezes exactly at the crash point.
+        Every protocol needs exactly this; forgetting ``commit_log.crashed``
+        would silently break the §5.3 prefix check, so it lives here."""
+        self.crashed = True
+        self.commit_log.crashed = True
+        self.runtime.crash()
+
+    def protocol_stats(self) -> Dict[str, int]:
+        """Flat per-site protocol counters for
+        :attr:`~repro.core.experiment.ScenarioResult.site_stats` —
+        the per-protocol resource breakdowns of Figures 6/7."""
+        raise NotImplementedError
+
+
+class ProtocolGroup:
+    """Directory of the per-site protocol instances of one run.
+
+    Protocols that route requests across sites (primary-copy) resolve
+    their peers here; symmetric protocols never need it.  The scenario
+    registers each instance as it is built.
+    """
+
+    def __init__(self) -> None:
+        self._instances: Dict[int, ReplicationProtocol] = {}
+
+    def register(self, site_id: int, instance: ReplicationProtocol) -> None:
+        self._instances[site_id] = instance
+
+    def instance(self, site_id: int) -> ReplicationProtocol:
+        return self._instances[site_id]
+
+    def site_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._instances))
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol builder may wire against for one site.
+
+    ``gcs``/``runtime``/``config`` are typed loosely to keep this module
+    import-light; they are the site's
+    :class:`~repro.gcs.stack.GroupCommunication`,
+    :class:`~repro.core.csrt.SiteRuntime` and the run's
+    :class:`~repro.core.experiment.ScenarioConfig`.
+    """
+
+    site_id: int
+    server: DatabaseServer
+    gcs: Any
+    runtime: Any
+    config: Any
+    group: ProtocolGroup
+
+
+Builder = Callable[[ProtocolContext], ReplicationProtocol]
+
+_REGISTRY: Dict[str, Builder] = {}
+#: Submodules that register the built-in protocols on import.
+_BUILTIN_MODULES = (".dbsm", ".primary_copy")
+
+
+def register_protocol(name: str, builder: Builder) -> None:
+    """Register ``builder`` under ``name`` (unique, non-empty)."""
+    if not name or not isinstance(name, str):
+        raise ValueError("protocol name must be a non-empty string")
+    # Load the built-ins first so a clash with a built-in name fails
+    # *here*, at the caller — not later inside _load_builtins, which
+    # would poison every subsequent registry lookup.  Reentrant calls
+    # from the built-in modules themselves are fine: their in-progress
+    # imports are already in sys.modules.
+    _load_builtins()
+    if name in _REGISTRY:
+        raise ValueError(f"replication protocol {name!r} already registered")
+    _REGISTRY[name] = builder
+
+
+def _load_builtins() -> None:
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module, __package__)
+
+
+def available_protocols() -> Tuple[str, ...]:
+    """Sorted names of every registered protocol."""
+    _load_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_protocol(name: str) -> Builder:
+    """The builder registered under ``name``; raises ValueError if none."""
+    _load_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown replication protocol {name!r} (available: {known})"
+        ) from None
+
+
+def build_protocol(name: str, ctx: ProtocolContext) -> ReplicationProtocol:
+    """Build and group-register the ``name`` protocol for one site."""
+    instance = get_protocol(name)(ctx)
+    ctx.group.register(ctx.site_id, instance)
+    return instance

@@ -1,23 +1,26 @@
 """Command-line campaign driver: ``python -m repro.runner``.
 
 Runs one of the canonical grids through the parallel runner and prints a
-paper-style summary table.  Examples::
+paper-style summary table.  Replicated cells run under the replication
+protocol selected with ``--protocol`` (``all`` compares every registered
+protocol side by side); centralized baseline cells are protocol-free and
+appear once.  Examples::
 
-    # tiny pool-path smoke test (CI uses this)
-    python -m repro.runner --grid smoke --workers 2 --transactions 120
+    # tiny pool-path smoke test over every protocol (CI uses this)
+    python -m repro.runner --grid smoke --protocol all --workers 2 --transactions 120
 
     # the Figure 5/6 performance sweep, resumable under results/fig5/
     python -m repro.runner --grid fig5 --workers 4 --artifact-dir results/fig5
 
-    # the Figure 7 fault grid
-    python -m repro.runner --grid fig7 --workers 3
+    # the Figure 7 fault grid under primary-copy replication
+    python -m repro.runner --grid fig7 --protocol primary-copy --workers 3
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.experiment import ScenarioConfig
 from ..core.scenarios import (
@@ -27,45 +30,91 @@ from ..core.scenarios import (
     performance_config,
     scaled_transactions,
 )
+from ..protocols import available_protocols
 from . import CampaignResult, run_campaign
 
+Grid = List[Tuple[str, ScenarioConfig]]
 
-def _smoke_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
-    grid = []
-    for sites, cpus in ((1, 1), (3, 1)):
+
+def _label_prefix(protocol: str, protocols: Sequence[str]) -> str:
+    """Replicated cell-label prefix for ``protocol``.
+
+    A lone default-protocol run keeps the historical protocol-free
+    labels, so artifact directories recorded before protocols became a
+    grid axis still resume; any other selection names the protocol in
+    every replicated label."""
+    if list(protocols) == ["dbsm"]:
+        return ""
+    return f"{protocol} "
+
+
+def _smoke_grid(transactions: int, protocols: Sequence[str]) -> Grid:
+    grid: Grid = []
+    for clients in (40, 80):
+        grid.append(
+            (
+                f"1x1cpu c{clients}",
+                ScenarioConfig(
+                    sites=1,
+                    cpus_per_site=1,
+                    clients=clients,
+                    transactions=transactions,
+                    seed=42 + clients,
+                ),
+            )
+        )
+    for protocol in protocols:
         for clients in (40, 80):
-            label = f"{sites}x{cpus}cpu c{clients}"
             grid.append(
                 (
-                    label,
+                    f"{_label_prefix(protocol, protocols)}3x1cpu c{clients}",
                     ScenarioConfig(
-                        sites=sites,
-                        cpus_per_site=cpus,
+                        sites=3,
+                        cpus_per_site=1,
                         clients=clients,
                         transactions=transactions,
                         seed=42 + clients,
+                        protocol=protocol,
                     ),
                 )
             )
     return grid
 
 
-def _fig5_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
+def _fig5_grid(transactions: int, protocols: Sequence[str]) -> Grid:
+    # Centralized baselines are protocol-free and appear once (labelled
+    # as before); replicated configurations appear once per protocol.
+    grid: Grid = []
+    for label, sites, cpus in SYSTEM_CONFIGS:
+        for protocol in [None] if sites == 1 else protocols:
+            for clients in CLIENT_LEVELS:
+                prefix = (
+                    "" if protocol is None else _label_prefix(protocol, protocols)
+                )
+                cell_label = f"{prefix}{label} c{clients}"
+                grid.append(
+                    (
+                        cell_label,
+                        performance_config(
+                            sites,
+                            cpus,
+                            clients,
+                            transactions=transactions,
+                            seed=42 + clients,
+                            protocol=protocol or "dbsm",
+                        ),
+                    )
+                )
+    return grid
+
+
+def _fig7_grid(transactions: int, protocols: Sequence[str]) -> Grid:
     return [
         (
-            f"{label} c{clients}",
-            performance_config(
-                sites, cpus, clients, transactions=transactions, seed=42 + clients
-            ),
+            f"{_label_prefix(protocol, protocols)}{kind}",
+            fault_config(kind, transactions=transactions, protocol=protocol),
         )
-        for label, sites, cpus in SYSTEM_CONFIGS
-        for clients in CLIENT_LEVELS
-    ]
-
-
-def _fig7_grid(transactions: int) -> List[Tuple[str, ScenarioConfig]]:
-    return [
-        (kind, fault_config(kind, transactions=transactions))
+        for protocol in protocols
         for kind in ("none", "random", "bursty")
     ]
 
@@ -75,17 +124,17 @@ GRIDS = {"smoke": _smoke_grid, "fig5": _fig5_grid, "fig7": _fig7_grid}
 
 def _print_summary(campaign: CampaignResult) -> None:
     print(
-        f"\n{'cell':<24s} {'status':<8s} {'tpm':>8s} {'latency':>9s} "
+        f"\n{'cell':<28s} {'status':<8s} {'tpm':>8s} {'latency':>9s} "
         f"{'abort':>7s} {'cpu':>6s} {'net KB/s':>9s} {'src':>10s}"
     )
     for cell in campaign.cells:
         if cell.status != "ok":
-            print(f"{cell.label:<24s} {'FAILED':<8s}  (see traceback below)")
+            print(f"{cell.label:<28s} {'FAILED':<8s}  (see traceback below)")
             continue
         result = cell.result
         total_cpu, _ = result.cpu_usage()
         print(
-            f"{cell.label:<24s} {'ok':<8s} {result.throughput_tpm():8.1f} "
+            f"{cell.label:<28s} {'ok':<8s} {result.throughput_tpm():8.1f} "
             f"{result.mean_latency() * 1000:7.1f}ms "
             f"{result.abort_rate():6.2f}% "
             f"{total_cpu * 100:5.1f}% "
@@ -100,6 +149,13 @@ def main(argv=None) -> int:
         prog="python -m repro.runner", description=__doc__
     )
     parser.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(available_protocols()) + ["all"],
+        default="dbsm",
+        help="replication protocol for the replicated cells "
+        "('all' runs every registered protocol side by side)",
+    )
     parser.add_argument(
         "--workers", type=int, default=None, help="default: REPRO_WORKERS or 1"
     )
@@ -119,7 +175,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     transactions = args.transactions or scaled_transactions()
-    grid = GRIDS[args.grid](transactions)
+    protocols = (
+        list(available_protocols()) if args.protocol == "all" else [args.protocol]
+    )
+    grid = GRIDS[args.grid](transactions, protocols)
     campaign = run_campaign(
         grid,
         workers=args.workers,

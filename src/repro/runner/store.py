@@ -50,7 +50,14 @@ class ArtifactStore:
             data = json.loads(path.read_text())
             if data.get("label") != label:
                 return None
-            if data.get("config") != config.to_dict():
+            stored_config = data.get("config")
+            if isinstance(stored_config, dict):
+                # Artifacts recorded before the protocol field existed
+                # implicitly ran the then-only "dbsm" protocol; fill the
+                # key so they keep matching instead of being recomputed.
+                stored_config = dict(stored_config)
+                stored_config.setdefault("protocol", "dbsm")
+            if stored_config != config.to_dict():
                 return None
             return ScenarioResult.from_dict(data["result"])
         except (ValueError, KeyError, TypeError, OSError):

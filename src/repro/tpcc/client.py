@@ -11,13 +11,19 @@ for any subset of users or transaction classes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.kernel import Entity, Signal, Simulator
 from ..db.server import DatabaseServer
+from ..db.transactions import Transaction, TransactionSpec
 from .workload import TpccWorkload
 
 __all__ = ["Client", "ClientPool"]
+
+#: How a client hands a request to the system: ``submit(spec, on_done)``.
+#: Defaults to the attached server; replication protocols that route
+#: requests (primary-copy) install their own.
+SubmitFn = Callable[[TransactionSpec, Callable[[Transaction], None]], None]
 
 
 class Client(Entity):
@@ -31,6 +37,7 @@ class Client(Entity):
         workload: TpccWorkload,
         max_transactions: Optional[int] = None,
         think_first: bool = True,
+        submit: Optional[SubmitFn] = None,
     ):
         super().__init__(sim, f"client{client_id}")
         self.client_id = client_id
@@ -38,6 +45,9 @@ class Client(Entity):
         self.workload = workload
         self.max_transactions = max_transactions
         self.think_first = think_first
+        self._submit: SubmitFn = submit or (
+            lambda spec, on_done: server.submit(spec, on_done=on_done)
+        )
         self.issued = 0
         self.completed = 0
         self._stopped = False
@@ -61,7 +71,7 @@ class Client(Entity):
             spec = self.workload.next_transaction(self.client_id)
             done = Signal(self.sim, latch=True)
             self.issued += 1
-            self.server.submit(spec, on_done=lambda tx: done.fire(tx))
+            self._submit(spec, lambda tx: done.fire(tx))
             yield done
             self.completed += 1
             yield self.workload.think_time()
@@ -78,6 +88,7 @@ class ClientPool:
         count: int,
         first_id: int = 0,
         max_transactions_per_client: Optional[int] = None,
+        submit: Optional[SubmitFn] = None,
     ):
         self.clients = [
             Client(
@@ -86,6 +97,7 @@ class ClientPool:
                 server,
                 workload,
                 max_transactions=max_transactions_per_client,
+                submit=submit,
             )
             for i in range(count)
         ]

@@ -3,25 +3,31 @@
 "First, we ensure that all operational sites must commit exactly the
 same sequence of transactions by comparing logs off-line after the
 simulation has finished" — for clock drift, scheduling latency, random
-loss, bursty loss, and crash.
+loss, bursty loss, and crash.  The condition is protocol-independent:
+every registered replication protocol must pass the same matrix (for
+primary-copy, the crash plans additionally exercise primary failover —
+site 0 is both the initial primary and the sequencer).
 """
 
 import pytest
 
 from repro.core.experiment import Scenario, ScenarioConfig
 from repro.core.scenarios import safety_fault_plans
+from repro.protocols import available_protocols
 
 PLANS = safety_fault_plans(sites=3, seed=5)
 
 
+@pytest.mark.parametrize("protocol", available_protocols())
 @pytest.mark.parametrize("fault_name", sorted(PLANS))
-def test_same_commit_sequence_under_fault(fault_name):
+def test_same_commit_sequence_under_fault(fault_name, protocol):
     config = ScenarioConfig(
         sites=3,
         cpus_per_site=1,
         clients=60,
         transactions=300,
         seed=31,
+        protocol=protocol,
         faults=PLANS[fault_name],
         max_sim_time=600.0,
     )

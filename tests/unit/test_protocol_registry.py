@@ -1,0 +1,140 @@
+"""Unit: the replication-protocol registry and its scenario threading."""
+
+import pytest
+
+from repro.core.experiment import Scenario, ScenarioConfig
+from repro.protocols import base as protocol_base
+from repro.protocols import (
+    ProtocolContext,
+    ProtocolGroup,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_protocols()
+        assert "dbsm" in names
+        assert "primary-copy" in names
+        assert names == tuple(sorted(names))
+
+    def test_builders_resolve(self):
+        for name in available_protocols():
+            assert callable(get_protocol(name))
+
+    def test_unknown_protocol_is_a_value_error_naming_the_options(self):
+        with pytest.raises(ValueError, match="dbsm"):
+            get_protocol("three-phase-commit")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol("dbsm", lambda ctx: None)
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol("", lambda ctx: None)
+        with pytest.raises(ValueError):
+            register_protocol(None, lambda ctx: None)
+
+    def test_custom_protocol_registers_and_unregisters(self):
+        builder = lambda ctx: None  # noqa: E731 — never built here
+        register_protocol("test-noop", builder)
+        try:
+            assert "test-noop" in available_protocols()
+            assert get_protocol("test-noop") is builder
+        finally:
+            protocol_base._REGISTRY.pop("test-noop")
+
+    def test_group_directory(self):
+        group = ProtocolGroup()
+        sentinel = object()
+        group.register(2, sentinel)
+        group.register(0, object())
+        assert group.instance(2) is sentinel
+        assert group.site_ids() == (0, 2)
+
+
+class TestConfigThreading:
+    def test_default_protocol_is_dbsm(self):
+        assert ScenarioConfig().protocol == "dbsm"
+
+    def test_round_trip(self):
+        config = ScenarioConfig(sites=3, protocol="primary-copy")
+        data = config.to_dict()
+        assert data["protocol"] == "primary-copy"
+        assert ScenarioConfig.from_dict(data) == config
+
+    def test_from_dict_without_protocol_defaults_to_dbsm(self):
+        data = ScenarioConfig(sites=3).to_dict()
+        del data["protocol"]
+        assert ScenarioConfig.from_dict(data).protocol == "dbsm"
+
+    def test_protocol_changes_artifact_match_key(self):
+        a = ScenarioConfig(sites=3, protocol="dbsm").to_dict()
+        b = ScenarioConfig(sites=3, protocol="primary-copy").to_dict()
+        assert a != b
+
+    def test_empty_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(protocol="")
+        with pytest.raises(ValueError):
+            ScenarioConfig(protocol=None)
+
+    def test_unknown_protocol_fails_at_scenario_build(self):
+        config = ScenarioConfig(sites=3, protocol="no-such-protocol")
+        with pytest.raises(ValueError, match="no-such-protocol"):
+            Scenario(config)
+
+    def test_centralized_config_ignores_protocol(self):
+        # sites=1 builds no replication at all, whatever the name says
+        scenario = Scenario(
+            ScenarioConfig(sites=1, clients=5, protocol="no-such-protocol")
+        )
+        assert scenario.sites[0].replica is None
+
+
+class TestSmokeCoverage:
+    def test_every_registered_protocol_has_a_smoke_cell(self):
+        """CI's smoke campaign runs ``--grid smoke --protocol all``; a
+        protocol registered without a smoke cell is a wiring bug.  The
+        grid enumerates the registry, so this guards against the grid
+        builder regressing to a hard-coded protocol list."""
+        from repro.runner.__main__ import _smoke_grid
+
+        grid = _smoke_grid(120, available_protocols())
+        covered = {
+            config.protocol for _, config in grid if config.sites > 1
+        }
+        missing = set(available_protocols()) - covered
+        assert not missing, f"protocols without a smoke cell: {missing}"
+
+    def test_ci_smoke_campaign_covers_all_protocols(self):
+        """…and this guards the other half of the chain: the CI smoke
+        steps must actually ask for every protocol (``--protocol all``),
+        or a newly registered protocol silently loses its pool-path
+        smoke coverage even though the grid builder could provide it."""
+        from pathlib import Path
+
+        workflow = (
+            Path(__file__).resolve().parents[2]
+            / ".github"
+            / "workflows"
+            / "ci.yml"
+        )
+        smoke_lines = [
+            line
+            for line in workflow.read_text().splitlines()
+            if "repro.runner" in line and "--grid smoke" in line
+        ]
+        assert smoke_lines, "CI no longer runs a smoke campaign"
+        for line in smoke_lines:
+            assert "--protocol all" in line, f"smoke step not 'all': {line}"
+
+    def test_smoke_labels_are_unique(self):
+        from repro.runner.__main__ import _smoke_grid
+
+        grid = _smoke_grid(120, available_protocols())
+        labels = [label for label, _ in grid]
+        assert len(labels) == len(set(labels))

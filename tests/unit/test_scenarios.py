@@ -1,6 +1,7 @@
 """Unit tests for the canonical scenario presets."""
 
 import os
+import warnings
 
 import pytest
 
@@ -38,6 +39,17 @@ class TestGrid:
         assert config.sites == 3
         assert config.clients == 750
         assert config.transactions == 500
+        assert config.protocol == "dbsm"
+
+    def test_grid_builders_thread_protocol(self):
+        perf = performance_config(
+            3, 1, 750, transactions=500, protocol="primary-copy"
+        )
+        assert perf.protocol == "primary-copy"
+        fault = fault_config(
+            "random", transactions=100, protocol="primary-copy"
+        )
+        assert fault.protocol == "primary-copy"
 
 
 class TestScale:
@@ -57,6 +69,44 @@ class TestScale:
     def test_scaled_transactions_floor(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.01")
         assert scaled_transactions() >= 300
+
+    def test_unparseable_scale_warns_once(self, monkeypatch):
+        from repro.core import scenarios as mod
+
+        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setenv("REPRO_SCALE", "O.5")  # the classic typo
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert scale() == 0.3
+        # … but exactly once per distinct value
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            assert scale() == 0.3
+        assert captured == []
+
+    def test_nan_scale_warns_and_falls_back(self, monkeypatch):
+        from repro.core import scenarios as mod
+
+        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setenv("REPRO_SCALE", "nan")
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert scale() == 0.3
+
+    def test_out_of_range_scale_warns_and_clamps(self, monkeypatch):
+        from repro.core import scenarios as mod
+
+        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        with pytest.warns(RuntimeWarning, match="clamped to 1.0"):
+            assert scale() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        with pytest.warns(RuntimeWarning, match="clamped to 0.01"):
+            assert scale() == 0.01
+        # in-range values never warn
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            assert scale() == 0.5
+        assert captured == []
 
 
 class TestFaultConfigs:
