@@ -1,30 +1,36 @@
 #!/usr/bin/env python
 """Fault-injection campaign: the §5.3 experiment end to end.
 
-Runs a 3-site cluster under each of the paper's fault types — clock
-drift, scheduling latency, random loss, bursty loss, crash of a member,
-crash of the sequencer — and for each run verifies the safety condition
-(all operational sites committed exactly the same transaction sequence)
-and reports the performance impact.
+Runs a 3-site cluster under the full fault matrix — the paper's five
+fault types (clock drift, scheduling latency, random loss, bursty
+loss, crash of a member / of the sequencer) plus the recovery
+fault-loads (crash→recover and partition→heal, for an ordinary member
+and for the sequencer) — and for each run verifies the safety
+condition (all operational sites committed exactly the same
+transaction sequence, with rejoined replicas bit-identical to the
+survivors) and reports the performance impact and recovery metrics.
 
-The six cells run through the campaign runner: set ``REPRO_WORKERS=N``
-to run them across N worker processes, and ``REPRO_ARTIFACT_DIR`` to
-make the campaign resumable (a second invocation loads completed cells
-from ``$REPRO_ARTIFACT_DIR/faults/``).
+Knobs (the same ones every entry point honours — see README "Fault
+model & recovery"): set ``REPRO_PROTOCOL=primary-copy`` to run the
+matrix under passive replication instead of the DBSM (the command-line
+equivalent is ``python -m repro.runner --protocol``), ``REPRO_WORKERS=N``
+to spread cells across N worker processes, and ``REPRO_ARTIFACT_DIR``
+to make the campaign resumable (a second invocation loads completed
+cells from ``$REPRO_ARTIFACT_DIR/faults/``).
 
 Run:  python examples/fault_injection_campaign.py
 """
+
+import os
 
 from repro import ScenarioConfig
 from repro.core.metrics import quantiles
 from repro.core.scenarios import safety_fault_plans
 from repro.runner import resolve_workers, run_campaign
 
-FAULTS = ("clock-drift", "scheduling-latency", "random-loss",
-          "bursty-loss", "crash-member", "crash-sequencer")
-
 
 def main() -> None:
+    protocol = os.environ.get("REPRO_PROTOCOL", "dbsm")
     plans = safety_fault_plans(sites=3, seed=7)
     grid = [
         (
@@ -35,17 +41,19 @@ def main() -> None:
                 clients=90,
                 transactions=600,
                 seed=123,
+                protocol=protocol,
                 faults=plans[name],
                 max_sim_time=600.0,
             ),
         )
-        for name in FAULTS
+        for name in sorted(plans)
     ]
     workers = resolve_workers()
     campaign = run_campaign(
         grid, workers=workers, campaign="faults", progress=workers > 1
     )
-    print(f"{'fault':<22s} {'records':>8s} {'tpm':>8s} "
+    print(f"protocol: {protocol}\n")
+    print(f"{'fault':<26s} {'records':>8s} {'tpm':>8s} "
           f"{'cert p50/p99 (ms)':>18s} {'commits/site':>22s}")
     for name, result in campaign.pairs():
         counts = result.check_safety()  # raises on divergence
@@ -56,11 +64,20 @@ def main() -> None:
         else:
             cert_col = "-"
         sites_col = " ".join(str(v) for v in counts.values())
-        print(f"{name:<22s} {len(result.metrics.records):8d} "
+        print(f"{name:<26s} {len(result.metrics.records):8d} "
               f"{result.throughput_tpm():8.1f} {cert_col:>18s} "
               f"{sites_col:>22s}")
-    print("\nall six campaigns passed the safety check: operational sites "
-          "committed identical sequences; crashed sites hold a prefix")
+    print("\nrecovery fault-loads (leave → state transfer → live):")
+    for name, result in campaign.pairs():
+        for event in result.completed_rejoins():
+            print(f"  {name:<26s} site{event.site} rejoined in "
+                  f"{event.time_to_rejoin():.2f}s  "
+                  f"snapshot {event.snapshot_bytes} B  "
+                  f"backlog {event.backlog_replayed}  "
+                  f"orphans {event.orphaned_commits}")
+    print("\nall campaigns passed the safety check: operational sites "
+          "committed identical sequences; crashed sites hold a prefix; "
+          "rejoined sites are bit-identical to the survivors")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,13 @@ paper reports: throughput, latency, per-class abort rates, resource
 usage — then verifies the safety condition (every replica committed the
 same sequence of transactions).
 
+Next steps: pass ``protocol="primary-copy"`` to compare passive
+replication (see examples/protocol_comparison.py or
+``python -m repro.runner --protocol``), and add ``faults={...}`` with
+crash / recover / partition / heal actions to exercise the fault model
+(see examples/fault_injection_campaign.py and README "Fault model &
+recovery").
+
 Run:  python examples/quickstart.py
 """
 

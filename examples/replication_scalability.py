@@ -9,6 +9,9 @@ limit throughput, while adding the resilience of multiple sites.
 The three configurations run through the campaign runner: set
 ``REPRO_WORKERS=3`` to execute them in parallel worker processes (the
 printed metrics are identical either way — runs are deterministic).
+The replicated cells use the DBSM; pass ``protocol="primary-copy"`` in
+the config (or compare via ``python -m repro.runner --grid fig5
+--protocol all``) for the passive-replication curve.
 
 Run:  python examples/replication_scalability.py
 """

@@ -17,8 +17,10 @@ Quick start::
     print(result.throughput_tpm(), result.abort_rate())
     result.check_safety()   # all replicas committed the same sequence
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See ARCHITECTURE.md for the layer map, the per-protocol message-flow
+walkthroughs and the crash → partition → heal → state transfer → live
+recovery lifecycle, and README.md for the fault-action taxonomy and
+the consolidated ``REPRO_*`` knob table.
 """
 
 from .core import (
@@ -34,12 +36,14 @@ from .core import (
     bursty_loss,
     check_consistency,
     clock_drift,
+    crash_recover,
     ecdf,
+    partition_heal,
     qq_points,
     random_loss,
     scheduling_latency,
 )
-from .gcs import GcsConfig
+from .gcs import GcsConfig, RecoveryEvent
 from .protocols import (
     ReplicationProtocol,
     available_protocols,
@@ -63,11 +67,14 @@ __all__ = [
     "bursty_loss",
     "check_consistency",
     "clock_drift",
+    "crash_recover",
     "ecdf",
+    "partition_heal",
     "qq_points",
     "random_loss",
     "scheduling_latency",
     "GcsConfig",
+    "RecoveryEvent",
     "ReplicationProtocol",
     "available_protocols",
     "register_protocol",

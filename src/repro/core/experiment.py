@@ -27,6 +27,7 @@ from ..db.server import DatabaseServer
 from ..db.storage import Storage
 from ..gcs.config import GcsConfig
 from ..gcs.stack import GroupCommunication
+from ..gcs.statetransfer import RecoveryEvent
 from ..net.address import Endpoint, GroupAddress
 from ..net.capture import PacketCapture
 from ..net.network import Network
@@ -207,9 +208,32 @@ class ScenarioResult:
             for s in sites
             if s.replica is not None
         }
+        #: Rejoin timelines (recovery-time metrics): one event per
+        #: crash→recover or partition→heal rejoin across all sites.
+        self.recovery_events: List[RecoveryEvent] = [
+            event
+            for s in sites
+            if s.gcs is not None
+            for event in s.gcs.transfer.events
+        ]
 
     def commit_logs(self) -> List[CommitLog]:
         return list(self._commit_logs)
+
+    # -- recovery metrics -------------------------------------------------
+    def completed_rejoins(self) -> List[RecoveryEvent]:
+        return [e for e in self.recovery_events if e.live_at >= 0]
+
+    def mean_time_to_rejoin(self) -> float:
+        """Mean seconds from rejoin start to live (0.0 if none completed)."""
+        times = [e.time_to_rejoin() for e in self.completed_rejoins()]
+        return sum(times) / len(times) if times else 0.0
+
+    def total_backlog_replayed(self) -> int:
+        return sum(e.backlog_replayed for e in self.completed_rejoins())
+
+    def total_orphaned_commits(self) -> int:
+        return sum(e.orphaned_commits for e in self.completed_rejoins())
 
     def check_safety(self) -> Dict[str, int]:
         """All operational sites committed the same sequence (§5.3)."""
@@ -262,6 +286,7 @@ class ScenarioResult:
             },
             "commit_logs": [log.to_dict() for log in self._commit_logs],
             "site_stats": self.site_stats,
+            "recovery": [event.to_dict() for event in self.recovery_events],
         }
 
     @classmethod
@@ -288,6 +313,9 @@ class ScenarioResult:
             site: {k: int(v) for k, v in stats.items()}
             for site, stats in data.get("site_stats", {}).items()
         }
+        result.recovery_events = [
+            RecoveryEvent.from_dict(event) for event in data.get("recovery", [])
+        ]
         return result
 
 
@@ -310,6 +338,7 @@ class Scenario:
         self._group = GroupAddress("dbsm", _GROUP_PORT)
         self._protocol_group = ProtocolGroup()
         self._build_sites()
+        self._schedule_partitions()
         self.sampler = ResourceSampler(
             self.sim,
             interval=config.sample_interval,
@@ -448,13 +477,89 @@ class Scenario:
         site.gcs = gcs
         site.replica = replica
         site.injector = injector
+        gcs.on_live = lambda: self._site_live(site)
+        gcs.on_excluded = lambda: self._excluded_site(site)
         if plan.crash_at is not None:
             self.sim.schedule(plan.crash_at, self._crash_site, site)
+        if plan.recover_at is not None:
+            self.sim.schedule(plan.recover_at, self._recover_site, site)
 
     def _crash_site(self, site: Site) -> None:
         assert site.replica is not None
         site.replica.crash()
         site.clients.stop_all()
+
+    # ------------------------------------------------------------------
+    # recovery & partitions (fault actions: recover / partition / heal)
+    # ------------------------------------------------------------------
+    def _recover_site(self, site: Site) -> None:
+        """The ``recover`` action: restart a crashed site's process with
+        empty volatile state and begin its rejoin (announce → merge view
+        → state transfer → backlog replay → live)."""
+        assert site.injector is not None and site.replica is not None
+        site.injector.recover()
+        self._begin_rejoin(site)
+
+    def _begin_rejoin(self, site: Site, silent: bool = True) -> None:
+        assert site.replica is not None and site.gcs is not None
+        site.replica.begin_rejoin()
+        site.gcs.rejoin(silent=silent)
+
+    def _excluded_site(self, site: Site) -> None:
+        """The site's stack detected that the group excluded it while it
+        was alive (a healed partition minority, or a false suspicion):
+        it must discard its diverged/stale state and rejoin via state
+        transfer.  No announcement silence needed — the exclusion is
+        the very thing that was detected."""
+        site.clients.stop_all()
+        self._begin_rejoin(site, silent=False)
+
+    def _site_live(self, site: Site) -> None:
+        """State transfer completed: the site serves clients again."""
+        site.clients.restart()
+
+    def _schedule_partitions(self) -> None:
+        """Schedule the network cut/heal boundaries.  Which sites must
+        rejoin afterwards is not inferred from the topology: an excluded
+        member discovers its exclusion itself once it hears the primary
+        component's higher-view traffic (see
+        :meth:`repro.gcs.stack.GroupCommunication._detect_exclusion`)
+        and re-enters through the state-transfer path."""
+        config = self.config
+        boundaries = set()
+        for plan in config.faults.values():
+            if plan.partition_at is not None:
+                boundaries.add(plan.partition_at)
+                if plan.heal_at is not None:
+                    boundaries.add(plan.heal_at)
+        if not boundaries or config.sites < 2:
+            return
+        for t in sorted(boundaries):
+            self.sim.schedule(t, self._apply_partition_state)
+
+    def _partition_components_now(self) -> List[set]:
+        """Active partition components: sites partitioned at the *same
+        instant* share a component and keep talking to each other; sites
+        cut at different instants are in different components (the
+        documented ``partition`` semantics)."""
+        now = self.sim.now
+        groups: Dict[float, set] = {}
+        for index, plan in self.config.faults.items():
+            if plan.partition_at is None or now < plan.partition_at:
+                continue
+            if plan.heal_at is not None and now >= plan.heal_at:
+                continue
+            groups.setdefault(plan.partition_at, set()).add(index)
+        return [groups[t] for t in sorted(groups)]
+
+    def _apply_partition_state(self) -> None:
+        components = self._partition_components_now()
+        if components:
+            self.network.partition(
+                [{f"site{i}" for i in component} for component in components]
+            )
+        else:
+            self.network.heal()
 
     # ------------------------------------------------------------------
     # execution

@@ -1,4 +1,4 @@
-"""Fault injection (paper §5.3).
+"""Fault injection (paper §5.3) and the fault-action taxonomy.
 
 Faults are injected by intercepting calls in and out of the centralized
 runtime and by manipulating model state.  The five fault types of the
@@ -15,6 +15,18 @@ paper's campaign:
 * **crash** — a node is stopped at a specified time, ending all
   interaction with other nodes.
 
+Beyond the paper's campaign, the plan supports the *recovery* fault
+actions that exercise the view-synchronous state-transfer subsystem
+(see ARCHITECTURE.md):
+
+* **recover** — a previously crashed node restarts with empty volatile
+  state and rejoins the group via state transfer;
+* **partition** — the node is cut off from the rest of the network
+  fabric (nodes partitioned at the same instant form one component and
+  keep talking to each other);
+* **heal** — the network cut is removed; nodes that sat in a minority
+  component rejoin the primary component via state transfer.
+
 All of them compose: one :class:`FaultInjector` guards one site and can
 carry any combination.
 """
@@ -30,13 +42,21 @@ from ..net.lossmodels import BurstyLoss, LossProcess, NoLoss, RandomLoss
 from .csrt import RuntimeInterceptor
 
 __all__ = [
+    "FAULT_ACTIONS",
     "FaultInjector",
     "FaultPlan",
     "clock_drift",
     "scheduling_latency",
     "random_loss",
     "bursty_loss",
+    "crash_recover",
+    "partition_heal",
 ]
+
+#: The point-in-time fault actions a plan can schedule, in lifecycle
+#: order.  README.md and ARCHITECTURE.md document each of these; the
+#: docs-consistency test cross-checks the tables against this tuple.
+FAULT_ACTIONS = ("crash", "recover", "partition", "heal")
 
 
 @dataclass
@@ -55,7 +75,30 @@ class FaultPlan:
     bursty_loss_burst: float = 5.0
     #: Simulated time at which the site crashes (None = never).
     crash_at: Optional[float] = None
+    #: Simulated time at which a crashed site restarts and rejoins the
+    #: group via state transfer (requires ``crash_at``; must leave the
+    #: site down long enough for the survivors to exclude it — a few
+    #: ``GcsConfig.suspect_after`` periods).
+    recover_at: Optional[float] = None
+    #: Simulated time at which the site is partitioned away from every
+    #: site not partitioned at the same instant (None = never).
+    partition_at: Optional[float] = None
+    #: Simulated time at which the partition heals.  A site that sat in
+    #: a minority component rejoins via state transfer on heal.
+    heal_at: Optional[float] = None
     seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None:
+            if self.crash_at is None:
+                raise ValueError("recover_at requires crash_at")
+            if self.recover_at <= self.crash_at:
+                raise ValueError("recover_at must be after crash_at")
+        if self.heal_at is not None:
+            if self.partition_at is None:
+                raise ValueError("heal_at requires partition_at")
+            if self.heal_at <= self.partition_at:
+                raise ValueError("heal_at must be after partition_at")
 
     def has_faults(self) -> bool:
         return (
@@ -64,6 +107,7 @@ class FaultPlan:
             or self.random_loss_rate > 0.0
             or self.bursty_loss_rate > 0.0
             or self.crash_at is not None
+            or self.partition_at is not None
         )
 
     def to_dict(self) -> dict:
@@ -96,7 +140,11 @@ class FaultInjector(RuntimeInterceptor):
             )
         else:
             self.loss = NoLoss()
-        self.stats = {"delays_stretched": 0, "messages_dropped": 0}
+        self.stats = {
+            "delays_stretched": 0,
+            "messages_dropped": 0,
+            "recoveries": 0,
+        }
 
     # ------------------------------------------------------------------
     # RuntimeInterceptor hooks
@@ -122,6 +170,17 @@ class FaultInjector(RuntimeInterceptor):
             return True
         return False
 
+    # ------------------------------------------------------------------
+    # recovery control (the ``recover`` fault action)
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Un-seal the runtime boundary after a crash: the site restarts
+        with empty volatile state and may announce itself for rejoin.
+        The loss/drift fault models keep running — a recovered site is
+        subject to the same environment it crashed in."""
+        self.crashed = False
+        self.stats["recoveries"] += 1
+
 
 # ----------------------------------------------------------------------
 # convenience constructors
@@ -140,3 +199,14 @@ def random_loss(rate: float, seed: int = 7) -> FaultPlan:
 
 def bursty_loss(rate: float, burst: float = 5.0, seed: int = 7) -> FaultPlan:
     return FaultPlan(bursty_loss_rate=rate, bursty_loss_burst=burst, seed=seed)
+
+
+def crash_recover(crash_at: float, recover_at: float, seed: int = 7) -> FaultPlan:
+    """Crash at ``crash_at`` and rejoin via state transfer at ``recover_at``."""
+    return FaultPlan(crash_at=crash_at, recover_at=recover_at, seed=seed)
+
+
+def partition_heal(partition_at: float, heal_at: float, seed: int = 7) -> FaultPlan:
+    """Partition away at ``partition_at``; heal (and, from a minority
+    component, rejoin via state transfer) at ``heal_at``."""
+    return FaultPlan(partition_at=partition_at, heal_at=heal_at, seed=seed)

@@ -24,7 +24,15 @@ import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..gcs.config import GcsConfig
-from .faults import FaultPlan, bursty_loss, clock_drift, random_loss, scheduling_latency
+from .faults import (
+    FaultPlan,
+    bursty_loss,
+    clock_drift,
+    crash_recover,
+    partition_heal,
+    random_loss,
+    scheduling_latency,
+)
 from .experiment import ScenarioConfig, ScenarioResult
 from .rng import derive_seed
 
@@ -149,13 +157,18 @@ def fault_config(
     seed: int = 42,
     rate: float = 0.05,
     protocol: str = "dbsm",
+    fault_at: float = 20.0,
+    repair_after: float = 15.0,
     **overrides,
 ) -> ScenarioConfig:
     """One cell of the Figure 7 / Table 2 fault grid (per protocol).
 
     ``kind`` is one of ``"none"``, ``"random"``, ``"bursty"`` — the loss
     is injected at every site, as in the paper (independent loss at each
-    participant is what shortens the stable common prefix, §5.3).  Runs
+    participant is what shortens the stable common prefix, §5.3) — or
+    one of the recovery fault-loads ``"crash-recover"`` /
+    ``"partition-heal"``: the highest-id site leaves at ``fault_at`` and
+    rejoins via state transfer ``repair_after`` seconds later.  Runs
     use :func:`prototype_gcs_config` unless ``gcs=...`` overrides it.
     """
     if kind == "none":
@@ -170,6 +183,10 @@ def fault_config(
             i: bursty_loss(rate, seed=derive_seed(seed, "faults", i))
             for i in range(sites)
         }
+    elif kind == "crash-recover":
+        faults = {sites - 1: crash_recover(fault_at, fault_at + repair_after)}
+    elif kind == "partition-heal":
+        faults = {sites - 1: partition_heal(fault_at, fault_at + repair_after)}
     else:
         raise ValueError(f"unknown fault kind {kind!r}")
     overrides.setdefault("gcs", prototype_gcs_config())
@@ -187,7 +204,13 @@ def fault_config(
 
 def safety_fault_plans(sites: int = 3, seed: int = 5) -> Dict[str, Dict[int, FaultPlan]]:
     """The §5.3 fault matrix under which the committed sequence must be
-    identical at all operational sites."""
+    identical at all operational sites.
+
+    Beyond the paper's five fault types, the recovery fault-loads
+    (crash→recover and partition→heal, for both an ordinary member and
+    the site that is sequencer *and* initial primary) verify the same
+    condition across leave/rejoin cycles: a rejoined replica must end
+    bit-identical to the survivors."""
     return {
         "clock-drift": {1: clock_drift(0.10, seed=seed)},
         "scheduling-latency": {1: scheduling_latency(0.010, seed=seed)},
@@ -195,6 +218,10 @@ def safety_fault_plans(sites: int = 3, seed: int = 5) -> Dict[str, Dict[int, Fau
         "bursty-loss": {i: bursty_loss(0.05, seed=seed + i) for i in range(sites)},
         "crash-member": {sites - 1: FaultPlan(crash_at=20.0)},
         "crash-sequencer": {0: FaultPlan(crash_at=20.0)},
+        "crash-recover-member": {sites - 1: crash_recover(20.0, 35.0, seed=seed)},
+        "crash-recover-sequencer": {0: crash_recover(20.0, 35.0, seed=seed)},
+        "partition-heal-member": {sites - 1: partition_heal(20.0, 40.0, seed=seed)},
+        "partition-heal-sequencer": {0: partition_heal(20.0, 40.0, seed=seed)},
     }
 
 

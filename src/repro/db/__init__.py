@@ -3,6 +3,23 @@
 A server is a scheduler plus resources (CPUs, storage) plus a
 concurrency-control policy; transactions are sequences of fetch /
 process / write-back operations with profiled durations.
+
+**Contract.** Execute a :class:`TransactionSpec` to a single terminal
+outcome (commit or abort, reported once via ``on_done``), consuming
+simulated CPU/storage time per the profiled costs, and hand committing
+updates to the installed termination protocol for the distributed
+decision.
+
+**Invariants.**
+
+* *Strict 2PL over write sets* — write locks are acquired atomically
+  before execution and released only after commit/abort;
+* *Remote priority* — an already-certified remote apply preempts local
+  conflicting lock holders (they would fail certification anyway), so
+  the commit order decided above is never blocked locally;
+* *Watermark monotonicity* — ``applied_watermark`` only advances, and
+  equals the highest global sequence below which everything is applied
+  (the ``start_seq`` snapshot new transactions take).
 """
 
 from .lock import GRANTED, PREEMPTED, WW_ABORTED, LockManager

@@ -17,7 +17,7 @@ O(|reads| + |writes|) — the runtime trick the paper calls out.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..db.tuples import is_table_lock, table_of
 from .marshal import CommitRequest
@@ -110,6 +110,27 @@ class Certifier:
                 break
         self._charge(visited * PER_ITEM_COST)
         return conflict
+
+    # ------------------------------------------------------------------
+    # state transfer (recovery/rejoin)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready certification position for a state-transfer
+        snapshot: the commit counter plus the trailing committed
+        write-set log a joiner certifies replayed (and later local)
+        transactions against.  The format is owned here, next to the
+        log's layout."""
+        return {
+            "next_commit_seq": self.next_commit_seq,
+            "log": [[seq, list(write_set)] for seq, write_set in self._log],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Adopt a donor's :meth:`snapshot_state`."""
+        self.next_commit_seq = int(state["next_commit_seq"])
+        self._log = deque(
+            (int(seq), tuple(write_set)) for seq, write_set in state["log"]
+        )
 
     # ------------------------------------------------------------------
     def log_size(self) -> int:

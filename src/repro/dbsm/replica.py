@@ -52,11 +52,11 @@ def broadcast_commit_request(
     differs (dbsm certifies reads, primary-copy ships none).
 
     Returns ``(outcome signal, payload bytes)``; zero bytes means the
-    site is crashed and the signal will never fire (clients of a dead
-    site block).
+    site is crashed (or not yet live after a rejoin) and the signal will
+    never fire (clients of a dead site block).
     """
     outcome = Signal(protocol.server.sim, latch=True)
-    if protocol.crashed:
+    if protocol.crashed or not protocol.live:
         return outcome, 0
     spec = tx.spec
     request = CommitRequest(
@@ -112,6 +112,27 @@ class Replica(ReplicationProtocol):
         server.termination = self
         server.on_applied = self._on_applied
         gcs.on_deliver = self._on_deliver
+        gcs.snapshot_provider = self.state_snapshot
+        gcs.snapshot_installer = self.install_snapshot
+
+    # ------------------------------------------------------------------
+    # state transfer (recovery/rejoin)
+    # ------------------------------------------------------------------
+    def reset_protocol_state(self, was_crashed: bool) -> None:
+        self._pending.clear()
+
+    def protocol_snapshot(self) -> Dict[str, object]:
+        """Certification position: the commit counter and the trailing
+        committed-write-set log the joiner certifies its replayed
+        backlog (and later local transactions) against."""
+        return {"certifier": self.certifier.snapshot_state()}
+
+    def install_protocol_snapshot(self, snap: Dict[str, object]) -> None:
+        self.certifier.restore_state(snap["certifier"])
+        # Everything in the adopted commit log counts as applied: the
+        # snapshot *is* the applied state.
+        self._watermark = WatermarkTracker()
+        self._watermark.watermark = self.certifier.next_commit_seq
 
     # ------------------------------------------------------------------
     # TerminationProtocol (called from server transaction processes)

@@ -1,9 +1,33 @@
-"""Group communication prototype: reliable multicast, total order, views.
+"""Group communication prototype: reliable multicast, total order,
+views, and rejoin via state transfer.
 
 The atomic multicast protocol of paper §3.4 in two layers — a
 view-synchronous reliable multicast (window-based receiver-initiated
 retransmission, gossip stability detection, rate+share flow control) and
-a fixed-sequencer total order — plus failure detection and view change.
+a fixed-sequencer total order — plus failure detection, view change,
+and the state-transfer endpoint that readmits restarted members.
+
+**Contract.** :class:`GroupCommunication` offers atomic multicast:
+``multicast(payload)`` delivers the payload reliably, exactly once and
+in the same total order at every operational member of the current
+view, with view-change and rejoin-completion notifications.
+
+**Invariants.**
+
+* *Virtual synchrony* — members that install the same pair of
+  consecutive views deliver the same set of messages between them;
+* *Total order* — delivery order is a single global sequence; a
+  message's position never changes once delivered anywhere;
+* *Stability* — a message is garbage collected only after every
+  operational member received it (so anyone can serve retransmissions
+  until then);
+* *Primary component* — a view can only shrink to a majority of its
+  predecessor; members outside the primary component block rather than
+  deliver;
+* *Incarnation safety* — a rejoined member's FIFO numbering resumes
+  above everything the group ever saw from its previous incarnations,
+  and it delivers nothing until a state-transfer snapshot covers the
+  garbage-collected history it can no longer fetch.
 """
 
 from .config import GcsConfig
@@ -13,6 +37,7 @@ from .reliable import ReliableMulticast
 from .sequencer import TotalOrder
 from .stability import StabilityState
 from .stack import GroupCommunication
+from .statetransfer import RecoveryEvent, StateTransfer
 from .views import ViewManager
 from .window import BufferPool, ReceiveWindow
 
@@ -25,6 +50,8 @@ __all__ = [
     "TotalOrder",
     "StabilityState",
     "GroupCommunication",
+    "StateTransfer",
+    "RecoveryEvent",
     "ViewManager",
     "BufferPool",
     "ReceiveWindow",

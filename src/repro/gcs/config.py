@@ -49,7 +49,7 @@ class GcsConfig:
     heartbeat_interval: float = 0.200
     #: Silence threshold before a member is suspected (seconds).  Keep
     #: well above any injected scheduling latency or drift to avoid
-    #: false suspicions (DESIGN.md §7).
+    #: false suspicions (see ARCHITECTURE.md).
     suspect_after: float = 2.0
     #: View-change message retransmission period (seconds).
     view_retransmit: float = 0.100
@@ -57,6 +57,10 @@ class GcsConfig:
     #: messages are fragmented by the session layer.  The prototype uses
     #: a safe value below the Ethernet MTU (§4.2).
     max_packet: int = 1400
+    #: State-transfer request retry period (seconds): how long a joiner
+    #: waits for a complete snapshot before re-requesting (rotating to
+    #: the next donor candidate, which survives a donor crash).
+    state_retry: float = 0.250
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

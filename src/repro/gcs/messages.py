@@ -18,6 +18,8 @@ Message taxonomy:
 ``PROPOSE``    view-change proposal from the coordinator
 ``FLUSH_ACK``  member state summary answering a proposal
 ``DECIDE``     view-change decision installing the new view
+``STATE_REQ``  joiner's request for a state-transfer snapshot
+``STATE``      one fragment of a donor's state-transfer snapshot
 ========== =====================================================
 """
 
@@ -36,6 +38,8 @@ __all__ = [
     "PROPOSE",
     "FLUSH_ACK",
     "DECIDE",
+    "STATE_REQ",
+    "STATE",
     "DataMsg",
     "NackMsg",
     "SequenceMsg",
@@ -44,6 +48,8 @@ __all__ = [
     "ProposeMsg",
     "FlushAckMsg",
     "DecideMsg",
+    "StateReqMsg",
+    "StateMsg",
     "marshal",
     "unmarshal",
     "MarshalError",
@@ -57,6 +63,8 @@ HEARTBEAT = 5
 PROPOSE = 6
 FLUSH_ACK = 7
 DECIDE = 8
+STATE_REQ = 9
+STATE = 10
 
 _HEADER = struct.Struct("<BHI")  # type, sender, view_id
 
@@ -134,6 +142,10 @@ class FlushAckMsg:
     contiguous: Tuple[Tuple[int, int], ...]
     #: Total-order assignments this member knows: (global, origin, seq).
     assignments: Tuple[Tuple[int, int, int], ...]
+    #: Application messages received but not yet assigned a global
+    #: number: (origin, seq) keys.  The decide unions these so the new
+    #: view can order them deterministically without the old sequencer.
+    pending: Tuple[Tuple[int, int], ...] = ()
 
     msg_type = FLUSH_ACK
 
@@ -147,8 +159,43 @@ class DecideMsg:
     targets: Tuple[Tuple[int, int], ...]
     #: Union of known assignments (authoritative for the new view).
     assignments: Tuple[Tuple[int, int, int], ...]
+    #: Flushed application messages left unassigned by the old view's
+    #: sequencer: every member assigns them the next global numbers in
+    #: (origin, seq) order at install, locally and deterministically.
+    pending: Tuple[Tuple[int, int], ...] = ()
+    #: Members admitted into this view with empty volatile state: they
+    #: skip the flush gap-fill and instead acquire a state-transfer
+    #: snapshot from an established member before going live.
+    joined: Tuple[int, ...] = ()
 
     msg_type = DECIDE
+
+
+@dataclass(frozen=True)
+class StateReqMsg:
+    """A joiner asking an established member to serve it a snapshot."""
+
+    sender: int  # the joiner
+    view_id: int  # the joiner's installed view
+
+    msg_type = STATE_REQ
+
+
+@dataclass(frozen=True)
+class StateMsg:
+    """One fragment of a state-transfer snapshot (donor → joiner).
+
+    Fragments of one capture share a ``snapshot_id``; a joiner discards
+    partial captures when a retry triggers a fresh one."""
+
+    sender: int  # the donor
+    view_id: int
+    snapshot_id: int
+    frag_index: int
+    frag_count: int
+    payload: bytes
+
+    msg_type = STATE
 
 
 # ----------------------------------------------------------------------
@@ -180,11 +227,35 @@ def marshal(msg) -> bytes:
         body += struct.pack(f"<{len(msg.members)}H", *msg.members)
         return head + body
     if msg.msg_type == FLUSH_ACK:
-        return head + _pack_pairs(msg.contiguous) + _pack_triples(msg.assignments)
+        return (
+            head
+            + _pack_pairs(msg.contiguous)
+            + _pack_triples(msg.assignments)
+            + _pack_pairs(msg.pending)
+        )
     if msg.msg_type == DECIDE:
         body = struct.pack("<I", len(msg.members))
         body += struct.pack(f"<{len(msg.members)}H", *msg.members)
-        return head + body + _pack_pairs(msg.targets) + _pack_triples(msg.assignments)
+        body += struct.pack("<I", len(msg.joined))
+        body += struct.pack(f"<{len(msg.joined)}H", *msg.joined)
+        return (
+            head
+            + body
+            + _pack_pairs(msg.targets)
+            + _pack_triples(msg.assignments)
+            + _pack_pairs(msg.pending)
+        )
+    if msg.msg_type == STATE_REQ:
+        return head
+    if msg.msg_type == STATE:
+        body = struct.pack(
+            "<QHHI",
+            msg.snapshot_id,
+            msg.frag_index,
+            msg.frag_count,
+            len(msg.payload),
+        )
+        return head + body + msg.payload
     raise MarshalError(f"unknown message type {msg.msg_type}")
 
 
@@ -227,17 +298,42 @@ def unmarshal(buffer: bytes):
             return ProposeMsg(sender, view_id, tuple(members))
         if msg_type == FLUSH_ACK:
             contiguous, offset = _unpack_pairs(view, 0)
-            assignments, _ = _unpack_triples(view, offset)
-            return FlushAckMsg(sender, view_id, contiguous, assignments)
+            assignments, offset = _unpack_triples(view, offset)
+            pending, _ = _unpack_pairs(view, offset)
+            return FlushAckMsg(sender, view_id, contiguous, assignments, pending)
         if msg_type == DECIDE:
             (count,) = struct.unpack_from("<I", view)
             offset = 4
             members = struct.unpack_from(f"<{count}H", view, offset)
             offset += 2 * count
+            (joined_count,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            joined = struct.unpack_from(f"<{joined_count}H", view, offset)
+            offset += 2 * joined_count
             targets, offset = _unpack_pairs(view, offset)
-            assignments, _ = _unpack_triples(view, offset)
+            assignments, offset = _unpack_triples(view, offset)
+            pending, _ = _unpack_pairs(view, offset)
             return DecideMsg(
-                sender, view_id, tuple(members), targets, assignments
+                sender,
+                view_id,
+                tuple(members),
+                targets,
+                assignments,
+                pending,
+                tuple(joined),
+            )
+        if msg_type == STATE_REQ:
+            return StateReqMsg(sender, view_id)
+        if msg_type == STATE:
+            snapshot_id, frag_index, frag_count, length = struct.unpack_from(
+                "<QHHI", view
+            )
+            offset = struct.calcsize("<QHHI")
+            payload = bytes(view[offset : offset + length])
+            if len(payload) != length:
+                raise MarshalError("truncated STATE payload")
+            return StateMsg(
+                sender, view_id, snapshot_id, frag_index, frag_count, payload
             )
     except struct.error as exc:
         raise MarshalError(f"truncated message of type {msg_type}: {exc}") from exc

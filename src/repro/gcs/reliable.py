@@ -65,6 +65,11 @@ class ReliableMulticast:
         #: Origins currently considered crashed: NACKs for their messages
         #: are redirected to live members.
         self.suspected: set = set()
+        #: Final flush target of each departed origin (from the DECIDE,
+        #: so identical at every member).  Folded into the contiguous
+        #: vector so a later merge view resumes the origin's numbering
+        #: above its *entire* old stream — assigned or not.
+        self._departed_tops: Dict[int, int] = {}
         self._next_seq = 0
         self._delivered_up_to: Dict[int, int] = {m: 0 for m in self.members}
         self._blocked: Deque[bytes] = deque()
@@ -257,8 +262,16 @@ class ReliableMulticast:
     # stability integration
     # ------------------------------------------------------------------
     def contiguous_vector(self) -> Dict[int, int]:
-        """Per-origin contiguous reception prefix (the stability vote)."""
-        return {m: w.contiguous for m, w in self.windows.items()}
+        """Per-origin contiguous reception prefix (the stability vote).
+
+        Departed origins report their final flush top: their history is
+        fully received as far as the group is concerned, and a merge
+        view's targets must resume above it."""
+        vector = {m: w.contiguous for m, w in self.windows.items()}
+        for origin, top in self._departed_tops.items():
+            if vector.get(origin, 0) < top:
+                vector[origin] = top
+        return vector
 
     def collect_stable(self, stable: Dict[int, int]) -> int:
         """Garbage-collect messages stable at all members; unblocks
@@ -267,6 +280,59 @@ class ReliableMulticast:
         if freed:
             self._drain_blocked()
         return freed
+
+    # ------------------------------------------------------------------
+    # rejoin (state transfer)
+    # ------------------------------------------------------------------
+    def reset_for_rejoin(self, members: Dict[int, object]) -> None:
+        """Restart with empty volatile state ahead of a rejoin.
+
+        Frozen until the merge view installs; the windows are recreated
+        and fast-forwarded at install time, and our own FIFO numbering
+        restarts at zero to be resumed above everything the group ever
+        saw from our previous incarnations (see
+        :meth:`fast_forward_origin`)."""
+        self.members = dict(members)
+        self.pool = BufferPool(share=self.config.buffer_share)
+        self.windows = {m: ReceiveWindow() for m in self.members}
+        self.suspected = set()
+        self._departed_tops = {}
+        self._next_seq = 0
+        self._delivered_up_to = {m: 0 for m in self.members}
+        self._blocked.clear()
+        self._blocked_since = None
+        self._frozen = True
+        for handle in self._nack_timers.values():
+            cancel = getattr(handle, "cancel", None)
+            if cancel is not None:
+                cancel()
+        self._nack_timers = {}
+
+    def fast_forward_origin(self, origin: int, seq: int) -> None:
+        """Skip ``origin``'s stream up to ``seq``: received-but-undeliverable
+        history whose effects arrive via state transfer instead.  For our
+        own origin this also moves the send numbering past every sequence
+        number any previous incarnation ever used, so incarnations can
+        never collide in windows, buffers or assignments."""
+        window = self.windows.setdefault(origin, ReceiveWindow())
+        window.fast_forward(seq)
+        self._departed_tops.pop(origin, None)
+        if self._delivered_up_to.get(origin, 0) < seq:
+            self._delivered_up_to[origin] = seq
+        if origin == self.member_id and self._next_seq < seq:
+            self._next_seq = seq
+
+    def reset_origin(self, origin: int) -> None:
+        """Forget everything about ``origin``'s stream (a member
+        readmitted with empty state restarts its numbering above its
+        flush target, so the old window must not NACK the gap)."""
+        self.windows[origin] = ReceiveWindow()
+        self._delivered_up_to[origin] = 0
+        timer = self._nack_timers.pop(origin, None)
+        if timer is not None:
+            cancel = getattr(timer, "cancel", None)
+            if cancel is not None:
+                cancel()
 
     # ------------------------------------------------------------------
     # view-change hooks
@@ -278,6 +344,12 @@ class ReliableMulticast:
     def thaw(self) -> None:
         self._frozen = False
         self._drain_blocked()
+
+    def note_departed_top(self, origin: int, top: int) -> None:
+        """Record a departed origin's final flush target (from the
+        DECIDE — deterministic) ahead of :meth:`reset_membership`."""
+        if top > self._departed_tops.get(origin, 0):
+            self._departed_tops[origin] = top
 
     def reset_membership(self, members: Dict[int, object]) -> None:
         """Install the new view's membership: departed origins' windows

@@ -50,6 +50,10 @@ class TotalOrder:
         reliable.on_fifo_deliver = self._on_fifo
         #: Callback: (global_seq, origin, origin_seq, app_payload).
         self.on_to_deliver: Optional[ToDeliver] = None
+        #: The installed view this session is operating in; SEQUENCE
+        #: messages are stamped with it so assignments racing a view
+        #: change cannot leak stale global numbers into the new view.
+        self.view_id = 1
         #: global_seq -> (origin, origin_seq); authoritative order.
         self.assignments: Dict[int, Tuple[int, int]] = {}
         #: (origin, origin_seq) -> app payload, held until ordered.
@@ -57,12 +61,18 @@ class TotalOrder:
         self._assigned: set = set()  # (origin, seq) pairs already ordered
         self._next_deliver = 1
         self._next_global = 1
+        #: While True (a state-transfer joiner before its snapshot is
+        #: installed, or a member blocked in a minority partition) no
+        #: message is delivered to the application; everything keeps
+        #: accumulating in ``held``/``assignments``.
+        self.gated = False
         self._batch: List[Tuple[int, int, int]] = []
         self._batch_timer_armed = False
         self.stats = {
             "to_delivered": 0,
             "sequence_msgs": 0,
             "max_hold": 0,
+            "install_assigned": 0,
         }
 
     # ------------------------------------------------------------------
@@ -96,6 +106,8 @@ class TotalOrder:
             self._try_deliver()
         elif tag == TAG_SEQ:
             msg = unmarshal(body)
+            if msg.view_id < self.view_id:
+                return  # stale assignments from a superseded view
             self._adopt_assignments(msg.assignments)
             self._try_deliver()
 
@@ -117,7 +129,7 @@ class TotalOrder:
         if not self._batch:
             return
         batch, self._batch = self._batch, []
-        msg = SequenceMsg(self.member_id, 0, tuple(batch))
+        msg = SequenceMsg(self.member_id, self.view_id, tuple(batch))
         self.reliable.multicast(bytes([TAG_SEQ]) + marshal(msg))
         self.stats["sequence_msgs"] += 1
 
@@ -145,6 +157,8 @@ class TotalOrder:
             self._next_global = global_seq + 1
 
     def _try_deliver(self) -> None:
+        if self.gated:
+            return
         while True:
             key = self.assignments.get(self._next_deliver)
             if key is None:
@@ -162,21 +176,55 @@ class TotalOrder:
     # ------------------------------------------------------------------
     # view-change hooks
     # ------------------------------------------------------------------
-    def install_view(self, members: Tuple[int, ...], targets: Dict[int, int]) -> None:
+    def install_view(
+        self,
+        view_id: int,
+        members: Tuple[int, ...],
+        targets: Dict[int, int],
+        decided: Tuple[Tuple[int, int, int], ...] = (),
+        pending: Tuple[Tuple[int, int], ...] = (),
+    ) -> None:
         """Adopt the new view after the flush completed.
 
         The flush guarantees every survivor holds the identical set of
-        messages and SEQUENCE assignments up to ``targets``.  Assignments
-        referencing messages beyond a departed origin's target are
-        unrecoverable (nobody has the message) and are dropped, then the
-        global numbering is compacted — deterministically, since inputs
-        are identical at every member.  The new sequencer (lowest id)
-        re-assigns any flushed-but-unassigned messages in deterministic
-        (origin, seq) order and resumes normal operation.
+        messages up to ``targets``, and ``decided`` — the DECIDE's
+        assignment union — is the authoritative assignment knowledge of
+        the new view.  Four deterministic steps run identically at every
+        member (including a state-transfer joiner, whose only assignment
+        knowledge *is* the DECIDE):
+
+        1. **reconcile** — locally adopted assignments above the
+           delivered prefix that are missing from the union (SEQUENCE
+           messages racing the flush) are discarded, and the union is
+           (re-)adopted, so every member's assignment state equals the
+           union exactly;
+        2. **drop** — assignments referencing messages beyond a departed
+           origin's target are unrecoverable (nobody buffers the
+           message) and are dropped;
+        3. **compact** — global numbers above the delivered prefix are
+           renumbered gap-free;
+        4. **assign** — the flushed application messages the union left
+           unassigned (the DECIDE's ``pending`` set) receive the next
+           global numbers in (origin, seq) order, *locally at every
+           member* — no SEQUENCE round-trip, and a joiner that cannot
+           see the payloads still computes the same numbering.
         """
         departed = set(self.members) - set(members)
         self.members = tuple(sorted(members))
-        # Drop assignments that can never be satisfied.
+        self.view_id = view_id
+        # 1. Reconcile with the authoritative union.
+        union = set(decided)
+        if decided:
+            stale = [
+                g
+                for g, (origin, seq) in self.assignments.items()
+                if g >= self._next_deliver and (g, origin, seq) not in union
+            ]
+            for g in stale:
+                self._assigned.discard(self.assignments.pop(g))
+            for g, origin, seq in decided:
+                self._record_assignment(g, origin, seq)
+        # 2. Drop assignments that can never be satisfied.
         droppable = [
             g
             for g, (origin, seq) in self.assignments.items()
@@ -185,7 +233,7 @@ class TotalOrder:
         for g in droppable:
             origin_seq = self.assignments.pop(g)
             self._assigned.discard(origin_seq)
-        # Compact global numbers above the delivered prefix.
+        # 3. Compact global numbers above the delivered prefix.
         kept = sorted(g for g in self.assignments if g >= self._next_deliver)
         remap: Dict[int, Tuple[int, int]] = {}
         next_global = self._next_deliver
@@ -198,11 +246,53 @@ class TotalOrder:
         for (origin, seq) in list(self.held):
             if origin in departed and seq > targets.get(origin, 0):
                 del self.held[(origin, seq)]
-        # The new sequencer assigns whatever survived unassigned.
-        if self.is_sequencer:
-            unassigned = sorted(
-                key for key in self.held if key not in self._assigned
-            )
-            for origin, seq in unassigned:
-                self._queue_assignment(origin, seq)
+        # 4. Deterministic assignment of flushed-but-unassigned app
+        #    messages.  Unrecoverable ones (departed origin beyond its
+        #    target) are skipped like step 2 skips their assignments.
+        for origin, seq in sorted(pending):
+            if origin in departed and seq > targets.get(origin, 0):
+                continue
+            if (origin, seq) not in self._assigned:
+                self._record_assignment(self._next_global, origin, seq)
+                self.stats["install_assigned"] += 1
         self._try_deliver()
+
+    # ------------------------------------------------------------------
+    # rejoin (state transfer)
+    # ------------------------------------------------------------------
+    def reset_for_rejoin(self) -> None:
+        """Restart with empty volatile state, gated: assignments and
+        payloads accumulate from the merge view's DECIDE onwards, but
+        nothing is delivered until :meth:`open_gate` replays the backlog
+        above the snapshot's cut."""
+        self.view_id = 0
+        self.assignments = {}
+        self.held = {}
+        self._assigned = set()
+        self._next_deliver = 1
+        self._next_global = 1
+        self.gated = True
+        self._batch = []
+        self._batch_timer_armed = False
+
+    def open_gate(self, next_deliver: int) -> int:
+        """Adopt the snapshot's delivery cut and replay the backlog.
+
+        Everything the group delivered before ``next_deliver`` is
+        covered by the snapshot; buffered traffic at or above it is
+        delivered now, in order.  Returns the number of backlog
+        messages replayed."""
+        before = self.stats["to_delivered"]
+        if next_deliver > self._next_deliver:
+            # Payloads at globals below the cut were delivered inside
+            # the snapshot; drop them from the hold buffer.
+            for g in range(self._next_deliver, next_deliver):
+                key = self.assignments.get(g)
+                if key is not None:
+                    self.held.pop(key, None)
+            self._next_deliver = next_deliver
+        if self._next_global < self._next_deliver:
+            self._next_global = self._next_deliver
+        self.gated = False
+        self._try_deliver()
+        return self.stats["to_delivered"] - before

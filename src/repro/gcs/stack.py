@@ -1,20 +1,29 @@
 """The assembled group communication stack (paper §3.4).
 
-:class:`GroupCommunication` is the facade the DBSM replica uses: an
-**atomic multicast** primitive (reliable + totally ordered) plus view
-change notifications.  It wires together the reliable multicast, the
-fixed-sequencer total order, gossip stability detection and the view
-manager, and dispatches incoming datagrams by wire type.
+:class:`GroupCommunication` is the facade the replication protocols
+use: an **atomic multicast** primitive (reliable + totally ordered),
+view change notifications, and the rejoin/state-transfer machinery.  It
+wires together the reliable multicast, the fixed-sequencer total order,
+gossip stability detection, the view manager and the state-transfer
+endpoint, and dispatches incoming datagrams by wire type.
 
 Application messages larger than the protocol's safe packet size are
 fragmented here and reassembled after total-order delivery: fragments
 receive consecutive positions in the global order, and since every
 member sees the same order, every member completes each message at the
 same point in the delivery sequence — atomicity is preserved.
+
+Rejoin support (see :mod:`repro.gcs.statetransfer`): :meth:`rejoin`
+resets the stack to an empty-state outsider that announces itself and
+re-enters through a merge view; the snapshot a donor serves is composed
+here (the total-order delivery cut) plus whatever the replication
+protocol contributes through :attr:`snapshot_provider` /
+:attr:`snapshot_installer`.
 """
 
 from __future__ import annotations
 
+import pickle
 import struct
 from typing import Callable, Dict, Optional, Tuple
 
@@ -29,6 +38,8 @@ from .messages import (
     PROPOSE,
     SEQUENCE,
     STABILITY,
+    STATE,
+    STATE_REQ,
     MarshalError,
     marshal,
     unmarshal,
@@ -36,6 +47,7 @@ from .messages import (
 from .reliable import ReliableMulticast
 from .sequencer import TotalOrder
 from .stability import StabilityState
+from .statetransfer import StateTransfer
 from .views import ViewManager
 
 __all__ = ["GroupCommunication"]
@@ -79,15 +91,45 @@ class GroupCommunication:
             self.config,
             on_view_change=self._view_installed,
         )
+        self.transfer = StateTransfer(
+            runtime, member_id, members, self.config
+        )
+        self.transfer.capture = self._capture_snapshot
+        self.transfer.install = self._install_snapshot
+        self.transfer.candidates = self._donor_candidates
+        self.transfer.on_live = self._on_live
         #: Application callback: (global_seq, origin, payload).
         self.on_deliver: Optional[Deliver] = None
         #: Application callback: (view_id, members).
         self.on_view_change: Optional[ViewChange] = None
+        #: Replication-protocol hooks for state transfer: the provider
+        #: returns the protocol's snapshot metadata (a plain dict), the
+        #: installer adopts one and returns its orphaned-commit count.
+        self.snapshot_provider: Optional[Callable[[], Dict[str, object]]] = None
+        self.snapshot_installer: Optional[
+            Callable[[Dict[str, object]], int]
+        ] = None
+        #: Fired when a rejoin completes (snapshot installed, backlog
+        #: replayed, member live).
+        self.on_live: Optional[Callable[[], None]] = None
+        #: Fired when the stack discovers the group excluded this member
+        #: while it was alive (partition healed, false suspicion): the
+        #: owner must reset the replication protocol and call
+        #: ``rejoin(silent=False)``.
+        self.on_excluded: Optional[Callable[[], None]] = None
+        self._outdated_since: Optional[float] = None
         self._endpoint_ids = dict(endpoint_ids or {})
         self._frag_group = 0
         self._reassembly: Dict[Tuple[int, int], list] = {}
         self._started = False
-        self.stats = {"fragments_sent": 0, "messages_multicast": 0, "delivered": 0}
+        self._epoch = 0
+        self._last_joined: Tuple[int, ...] = ()
+        self.stats = {
+            "fragments_sent": 0,
+            "messages_multicast": 0,
+            "delivered": 0,
+            "rejoins": 0,
+        }
         self.total_order.on_to_deliver = self._on_ordered
         runtime.set_receiver(self._on_wire)
 
@@ -99,8 +141,35 @@ class GroupCommunication:
         if self._started:
             return
         self._started = True
+        self._epoch += 1
         self.views.start()
-        self.runtime.schedule(self.config.stability_interval, self._stability_tick)
+        self.runtime.schedule(
+            self.config.stability_interval, self._stability_tick, self._epoch
+        )
+
+    def rejoin(self, silent: bool = True) -> None:
+        """Reset to an empty-state outsider and re-enter the group.
+
+        The volatile protocol state of the previous incarnation —
+        windows, buffers, held messages, assignments, membership — is
+        discarded (a restarted process has none of it); the member
+        announces itself, re-enters through a merge view with its
+        receive windows fast-forwarded past the garbage-collected
+        history, and goes live once a state-transfer snapshot covers
+        that history's effects.  ``silent=False`` skips the announcement
+        silence window — only valid when the group has provably already
+        excluded this member (the exclusion-detection path).
+        """
+        self.stats["rejoins"] += 1
+        self._reassembly.clear()
+        self._outdated_since = None
+        self.reliable.reset_for_rejoin(self.views.addresses)
+        self.total_order.reset_for_rejoin()
+        self.stability = StabilityState(self.member_id, (self.member_id,))
+        self.transfer.begin_rejoin()
+        self.views.reset_for_rejoin(silent=silent)
+        self._started = False
+        self.start()
 
     @property
     def view_id(self) -> int:
@@ -113,6 +182,13 @@ class GroupCommunication:
     @property
     def is_sequencer(self) -> bool:
         return self.total_order.is_sequencer
+
+    @property
+    def live(self) -> bool:
+        """False while this member is (re)joining: between a
+        :meth:`rejoin` and the completion of its state transfer the
+        stack orders traffic but delivers nothing."""
+        return not (self.views.joining or self.transfer.transferring)
 
     # ------------------------------------------------------------------
     # sending
@@ -143,10 +219,19 @@ class GroupCommunication:
             msg = unmarshal(buffer)
         except MarshalError:
             return  # corrupt datagram: drop, reliability recovers
+        kind = msg.msg_type
         physical = self._endpoint_ids.get(source)
         if physical is not None:
-            self.views.note_heard(physical, msg.view_id)
-        kind = msg.msg_type
+            self.views.note_heard(
+                physical, msg.view_id, heartbeat=(kind == HEARTBEAT)
+            )
+            if self._detect_exclusion(msg.view_id):
+                return  # traffic from a view we are not part of
+        if self.views.joining and kind in (DATA, NACK, STABILITY):
+            # An outsider has no window/round context for group traffic;
+            # it only speaks the membership and state-transfer protocols
+            # until the merge view installs.
+            return
         if kind == DATA:
             self.reliable.handle_data(msg)
             self.views.maybe_complete_sync()
@@ -164,6 +249,37 @@ class GroupCommunication:
             self.views.handle_flush_ack(msg)
         elif kind == DECIDE:
             self.views.handle_decide(msg)
+        elif kind == STATE_REQ:
+            self.transfer.handle_request(msg)
+        elif kind == STATE:
+            self.transfer.handle_state(msg)
+
+    def _detect_exclusion(self, peer_view_id: int) -> bool:
+        """Exclusion detection: a *member* of a higher view always ends
+        up installing it (the coordinator retransmits the DECIDE until
+        every member adopts), so persistently hearing higher-view
+        traffic while stable — with no view change of our own in
+        progress — proves the group excluded us while we were alive
+        (partition healed, false suspicion).  Triggers ``on_excluded``
+        so the owner resets us into the rejoin path."""
+        views = self.views
+        if (
+            peer_view_id <= views.view_id
+            or views.joining
+            or views.state != ViewManager.STABLE
+        ):
+            return False
+        now = self.runtime.now()
+        if self._outdated_since is None:
+            self._outdated_since = now
+            return False
+        if now - self._outdated_since <= self.config.suspect_after:
+            return False
+        self._outdated_since = None
+        if self.on_excluded is not None:
+            self.on_excluded()
+            return True
+        return False
 
     def _on_ordered(self, global_seq: int, origin: int, seq: int, payload: bytes) -> None:
         group, index, count = _FRAG.unpack_from(payload)
@@ -186,7 +302,14 @@ class GroupCommunication:
     # ------------------------------------------------------------------
     # stability gossip
     # ------------------------------------------------------------------
-    def _stability_tick(self) -> None:
+    def _stability_tick(self, epoch: int = 0) -> None:
+        if epoch and epoch != self._epoch:
+            return  # superseded incarnation's chain
+        self.runtime.schedule(
+            self.config.stability_interval, self._stability_tick, epoch
+        )
+        if self.views.joining:
+            return  # outsiders have no reception state to gossip
         self.stability.vote(self.reliable.contiguous_vector())
         self._collect()
         snapshot = self.stability.snapshot()
@@ -199,7 +322,6 @@ class GroupCommunication:
             mins=snapshot.mins,
         )
         self.runtime.send(self.reliable.group_dest, marshal(stamped))
-        self.runtime.schedule(self.config.stability_interval, self._stability_tick)
 
     def _collect(self) -> None:
         self.reliable.collect_stable(self.stability.stable)
@@ -223,7 +345,55 @@ class GroupCommunication:
                 self.reliable.request_catchup(origin, peer_has)
 
     # ------------------------------------------------------------------
-    def _view_installed(self, view_id: int, members: Tuple[int, ...]) -> None:
+    def _view_installed(
+        self, view_id: int, members: Tuple[int, ...], joined: Tuple[int, ...]
+    ) -> None:
+        self._last_joined = joined
+        self._outdated_since = None
         self.stability.reset_membership(members)
+        if self.member_id in joined:
+            self.transfer.start_transfer()
         if self.on_view_change is not None:
             self.on_view_change(view_id, members)
+
+    # ------------------------------------------------------------------
+    # state transfer (rejoin)
+    # ------------------------------------------------------------------
+    def _donor_candidates(self) -> Tuple[int, ...]:
+        """Donor preference order: established members first, freshly
+        joined ones (who would refuse) last."""
+        members = [m for m in self.views.members if m != self.member_id]
+        established = [m for m in members if m not in self._last_joined]
+        joined = [m for m in members if m in self._last_joined]
+        return tuple(established + joined)
+
+    def _capture_snapshot(self) -> Optional[bytes]:
+        """Donor side: a consistent cut of this member's delivered state.
+
+        Runs synchronously inside the STATE_REQ receive job — between
+        total-order deliveries — so the protocol metadata corresponds
+        exactly to the delivery position.  A member that is itself
+        (re)joining refuses (returns None)."""
+        if self.views.joining or self.total_order.gated:
+            return None
+        if self.snapshot_provider is None:
+            return None
+        state = {
+            "next_deliver": self.total_order._next_deliver,
+            "protocol": self.snapshot_provider(),
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _install_snapshot(self, blob: bytes) -> Tuple[int, int]:
+        """Joiner side: adopt the snapshot, open the delivery gate and
+        replay the buffered backlog.  Returns (backlog, orphans)."""
+        state = pickle.loads(blob)
+        orphans = 0
+        if self.snapshot_installer is not None:
+            orphans = self.snapshot_installer(state["protocol"])
+        backlog = self.total_order.open_gate(int(state["next_deliver"]))
+        return backlog, orphans
+
+    def _on_live(self) -> None:
+        if self.on_live is not None:
+            self.on_live()

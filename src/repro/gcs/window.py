@@ -44,6 +44,18 @@ class ReceiveWindow:
     def has(self, seq: int) -> bool:
         return seq <= self.contiguous or seq in self._pending
 
+    def fast_forward(self, seq: int) -> None:
+        """Mark everything up to ``seq`` as received without holding the
+        payloads (state transfer covers their effects).  Out-of-order
+        arrivals at or below ``seq`` are absorbed."""
+        if seq <= self.contiguous:
+            return
+        self.contiguous = seq
+        self._pending = {s for s in self._pending if s > seq}
+        while self.contiguous + 1 in self._pending:
+            self._pending.discard(self.contiguous + 1)
+            self.contiguous += 1
+
     def gaps(self, limit: int = 64) -> List[int]:
         """Missing sequence numbers below the highest arrival (at most
         ``limit`` of them) — the NACK candidates."""
@@ -102,6 +114,19 @@ class BufferPool:
 
     def get(self, origin: int, seq: int) -> Optional[bytes]:
         return self._messages.get((origin, seq))
+
+    def purge_origin_above(self, origin: int, seq: int) -> int:
+        """Drop ``origin``'s buffered messages with sequence above
+        ``seq`` — out-of-order remnants of a dead incarnation whose gaps
+        will never fill (sequences at or below ``seq`` stay: lagging
+        survivors may still gap-fill the old stream from us)."""
+        doomed = [
+            key for key in self._messages if key[0] == origin and key[1] > seq
+        ]
+        for key in doomed:
+            del self._messages[key]
+            self._per_origin[origin] -= 1
+        return len(doomed)
 
     def collect(self, stable: Dict[int, int]) -> int:
         """Drop every buffered (origin, seq) with seq <= stable[origin]."""

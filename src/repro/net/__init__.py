@@ -4,6 +4,22 @@ Public surface: :class:`Network` / :class:`Host` for topology,
 :class:`UdpSocket` for endpoints, :class:`Endpoint` / :class:`GroupAddress`
 for addressing, :class:`PacketCapture` for observation, and the loss
 processes used by fault injection.
+
+**Contract.** Best-effort datagram delivery between hosts with
+calibrated bandwidth and latency: unicast, list fan-out, and IP
+multicast within a segment; WAN segments add configured latency and
+force the unicast fallback.
+
+**Invariants.**
+
+* *No fabrication, no reordering per link* — a link delivers exactly
+  the bytes sent, in FIFO order; datagrams are lost only by ingress
+  overflow, injected loss, or a partition cut;
+* *Partition cuts are absolute* — while a cut separates two hosts, no
+  packet crosses in either direction (recorded as ``"partition"``
+  drops in the capture);
+* *Conserved accounting* — every transmitted byte appears exactly once
+  in the capture totals the resource figures are computed from.
 """
 
 from .address import Endpoint, GroupAddress

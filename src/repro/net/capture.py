@@ -42,7 +42,7 @@ class PacketCapture:
     def record(self, time: float, source: str, dest: str, size: int, kind: str) -> None:
         if self.keep_entries:
             self.entries.append(CaptureEntry(time, source, dest, size, kind))
-        if kind != "drop":
+        if kind not in ("drop", "partition"):
             self.total_bytes += size
             self.total_packets += 1
             self._buckets[int(time / self.bucket_seconds)] = (

@@ -101,6 +101,9 @@ class Network(Entity):
         self.hosts: Dict[str, Host] = {}
         self._groups: Dict[GroupAddress, Set[str]] = {}
         self._wan_latency: Dict[Tuple[str, str], float] = {}
+        #: host -> partition component id; hosts in different components
+        #: cannot exchange packets.  Unlisted hosts share component 0.
+        self._partition: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # topology construction
@@ -144,6 +147,32 @@ class Network(Entity):
 
     def members(self, group: GroupAddress) -> Tuple[str, ...]:
         return tuple(sorted(self._groups.get(group, ())))
+
+    # ------------------------------------------------------------------
+    # partitions (fault injection: the ``partition``/``heal`` actions)
+    # ------------------------------------------------------------------
+    def partition(self, components: Iterable[Iterable[str]]) -> None:
+        """Split the fabric: hosts in different components cannot
+        exchange packets (dropped in flight, recorded as ``"partition"``
+        in the capture).  Hosts not named in any component form an
+        implicit component of their own.  Replaces any previous cut."""
+        mapping: Dict[str, int] = {}
+        for index, component in enumerate(components, start=1):
+            for host in component:
+                if host not in self.hosts:
+                    raise ValueError(f"unknown host {host!r}")
+                if host in mapping:
+                    raise ValueError(f"host {host!r} in two components")
+                mapping[host] = index
+        self._partition = mapping
+
+    def heal(self) -> None:
+        """Remove the partition cut entirely."""
+        self._partition = {}
+
+    def reachable(self, host_a: str, host_b: str) -> bool:
+        """True when no partition cut separates the two hosts."""
+        return self._partition.get(host_a, 0) == self._partition.get(host_b, 0)
 
     def multicast_capable(self, sender: str, group: GroupAddress) -> bool:
         """True when every group member shares the sender's segment —
@@ -216,6 +245,11 @@ class Network(Entity):
         for target in targets:
             host = self.hosts.get(target.host)
             if host is None:
+                continue
+            if not self.reachable(source.host, target.host):
+                self.capture.record(
+                    self.now, str(source), str(target), size, "partition"
+                )
                 continue
             extra = self.switch_latency
             if host.segment != src_segment:

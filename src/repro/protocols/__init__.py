@@ -5,6 +5,24 @@
 passive replication on the same group-communication substrate
 (:mod:`repro.protocols.primary_copy`).  See :mod:`repro.protocols.base`
 for how to add a protocol.
+
+**Contract.** A :class:`ReplicationProtocol` instance is one site's
+termination protocol plus client-request routing, crash/rejoin
+handling (the state-transfer hook), a commit log, and protocol
+counters — built from a :class:`ProtocolContext` by the builder
+registered under the protocol's name.
+
+**Invariants.**
+
+* *Registry-complete* — every experiment resolves its protocol by name
+  here; a registered protocol runs the entire shared grid (performance,
+  §5.3 fault matrix, recovery fault-loads) unchanged;
+* *Common safety bar* — whatever the replication style, all operational
+  sites commit exactly the same transaction sequence, crashed sites a
+  prefix, rejoined sites a bit-identical copy;
+* *Gate discipline* — between ``begin_rejoin()`` and snapshot install a
+  site serves no update traffic (``live`` is False) and its commit log
+  counts as non-operational.
 """
 
 from .base import (

@@ -16,9 +16,14 @@ Adding a protocol:
    :class:`~repro.db.server.TerminationProtocol`), ``crash`` and
    ``protocol_stats``, and override ``client_submit`` if client requests
    need routing (see ``primary_copy``);
-2. register a builder: ``register_protocol("my-proto", build_fn)`` where
+2. implement the **state-transfer hook** — ``protocol_snapshot`` /
+   ``install_protocol_snapshot`` (the protocol metadata a donor ships
+   to a rejoining replica: certification position, apply watermark,
+   commit counters); the base class handles the commit log, the
+   ``live`` gate and orphan accounting;
+3. register a builder: ``register_protocol("my-proto", build_fn)`` where
    ``build_fn(ctx: ProtocolContext)`` returns the per-site instance;
-3. give it a smoke cell: the runner's smoke grid enumerates the registry
+4. give it a smoke cell: the runner's smoke grid enumerates the registry
    automatically, and a unit test fails any registered protocol that has
    no smoke cell.
 
@@ -71,6 +76,9 @@ class ReplicationProtocol(TerminationProtocol):
     commit_log: CommitLog
     #: Set once the site has been crashed by fault injection.
     crashed: bool = False
+    #: False between a rejoin and the completion of its state transfer:
+    #: the site orders traffic but must not serve update requests.
+    live: bool = True
     #: The site's database server.
     server: DatabaseServer
     #: The site's :class:`~repro.core.csrt.SiteRuntime` (typed loosely
@@ -101,6 +109,66 @@ class ReplicationProtocol(TerminationProtocol):
         :attr:`~repro.core.experiment.ScenarioResult.site_stats` —
         the per-protocol resource breakdowns of Figures 6/7."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state transfer (recovery §ARCHITECTURE.md; hooks for gcs/statetransfer)
+    # ------------------------------------------------------------------
+    def begin_rejoin(self) -> None:
+        """Reset protocol volatile state ahead of a rejoin.
+
+        The commit log keeps its entries for orphan accounting (they are
+        replaced when the snapshot installs) but stays marked
+        non-operational until then — a §5.3 check on a run that ends
+        mid-rejoin treats the site like a stopped one."""
+        was_crashed = self.crashed
+        self.crashed = False
+        self.live = False
+        self.commit_log.crashed = True
+        self.reset_protocol_state(was_crashed)
+
+    def reset_protocol_state(self, was_crashed: bool) -> None:
+        """Drop in-flight protocol state a restarted process would not
+        have.  ``was_crashed`` is False for a partition-heal rejoin: the
+        process survived, so client requests parked inside it may be
+        preserved and re-routed once live."""
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """The protocol metadata a donor ships to a rejoining replica:
+        the committed sequence plus whatever :meth:`protocol_snapshot`
+        contributes (certification position, apply watermark, ...)."""
+        snap: Dict[str, object] = {
+            "commit_log": [list(entry) for entry in self.commit_log.entries]
+        }
+        snap.update(self.protocol_snapshot())
+        return snap
+
+    def install_snapshot(self, snap: Dict[str, object]) -> int:
+        """Adopt a donor's snapshot and go live.
+
+        The joiner's committed state becomes bit-identical to the
+        donor's cut; entries of the previous incarnation missing from
+        the adopted sequence (a minority partition's divergence window)
+        are counted and returned as *orphaned commits*."""
+        adopted = [tuple(entry) for entry in snap["commit_log"]]
+        old = list(self.commit_log.entries)
+        common = 0
+        for mine, theirs in zip(old, adopted):
+            if mine != theirs:
+                break
+            common += 1
+        orphans = len(old) - common
+        self.commit_log.entries[:] = adopted
+        self.commit_log.crashed = False
+        self.install_protocol_snapshot(snap)
+        self.live = True
+        return orphans
+
+    def protocol_snapshot(self) -> Dict[str, object]:
+        """Protocol-specific snapshot fields (see :meth:`state_snapshot`)."""
+        return {}
+
+    def install_protocol_snapshot(self, snap: Dict[str, object]) -> None:
+        """Adopt the :meth:`protocol_snapshot` fields."""
 
 
 class ProtocolGroup:

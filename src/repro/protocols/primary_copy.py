@@ -122,6 +122,31 @@ class PrimaryCopyReplica(ReplicationProtocol):
         server.on_applied = self._on_applied
         gcs.on_deliver = self._on_deliver
         gcs.on_view_change = self._on_view_change
+        gcs.snapshot_provider = self.state_snapshot
+        gcs.snapshot_installer = self.install_snapshot
+
+    # ------------------------------------------------------------------
+    # state transfer (recovery/rejoin)
+    # ------------------------------------------------------------------
+    def reset_protocol_state(self, was_crashed: bool) -> None:
+        self._pending.clear()
+        self._held.clear()
+        self._applies_in_flight = 0
+        if was_crashed:
+            # A restarted process has lost the requests parked inside
+            # it; a partition survivor keeps them and re-routes once a
+            # usable primary is visible again.
+            self._parked.clear()
+
+    def protocol_snapshot(self) -> Dict[str, object]:
+        return {"next_commit_seq": self._next_commit_seq}
+
+    def install_protocol_snapshot(self, snap: Dict[str, object]) -> None:
+        self._next_commit_seq = int(snap["next_commit_seq"])
+        self._watermark = WatermarkTracker()
+        self._watermark.watermark = self._next_commit_seq
+        if self._parked:
+            self._schedule_park_retry()
 
     # ------------------------------------------------------------------
     # client routing
@@ -171,10 +196,11 @@ class PrimaryCopyReplica(ReplicationProtocol):
         self, spec: TransactionSpec, on_done: OnDone, issued_at: float
     ) -> None:
         primary = self.group.instance(self.primary_id)
-        if primary.crashed or not primary.is_primary():
-            # Dead primary, or a successor that has not yet installed the
+        if primary.crashed or not primary.live or not primary.is_primary():
+            # Dead primary, a successor that has not yet installed the
             # view promoting it (so it may not have applied every
-            # write-set of the old regime): hold the request and retry.
+            # write-set of the old regime), or a recovered predecessor
+            # still mid state transfer: hold the request and retry.
             self._parked.append((spec, on_done, issued_at))
             self.stats["parked"] += 1
             self._schedule_park_retry()
@@ -208,7 +234,7 @@ class PrimaryCopyReplica(ReplicationProtocol):
         if self.crashed or not self._parked:
             return
         primary = self.group.instance(self.primary_id)
-        if primary.crashed or not primary.is_primary():
+        if primary.crashed or not primary.live or not primary.is_primary():
             self._schedule_park_retry()
             return
         parked, self._parked = self._parked, []

@@ -5,6 +5,22 @@ The paper's evaluation is a large scenario grid (Figures 5-7, Tables
 deterministic per-scenario seeding, crash-isolated workers, progress/ETA
 reporting and a JSON artifact store that makes campaigns resumable.
 
+**Contract.** Given ``[(label, ScenarioConfig), ...]``, produce one
+:class:`ScenarioResult` per cell — computed in-process, in a worker, or
+loaded from a matching artifact — and report per-cell failures without
+aborting the campaign.
+
+**Invariants.**
+
+* *Execution-path equivalence* — a cell's result is identical whether
+  run directly, with ``workers=1``, in a pool, or resumed from an
+  artifact (results serialize losslessly for everything the figures
+  read);
+* *Resume safety* — an artifact is only reused when its stored config
+  matches the requested one exactly;
+* *Crash isolation* — a worker crash (or a cell raising) marks that
+  cell failed with its traceback; the rest of the campaign completes.
+
 Quick start::
 
     from repro.runner import run_campaign

@@ -6,7 +6,8 @@ protocol selected with ``--protocol`` (``all`` compares every registered
 protocol side by side); centralized baseline cells are protocol-free and
 appear once.  Examples::
 
-    # tiny pool-path smoke test over every protocol (CI uses this)
+    # tiny pool-path smoke test over every protocol (CI uses this);
+    # includes one crash->recover cell per protocol
     python -m repro.runner --grid smoke --protocol all --workers 2 --transactions 120
 
     # the Figure 5/6 performance sweep, resumable under results/fig5/
@@ -14,6 +15,10 @@ appear once.  Examples::
 
     # the Figure 7 fault grid under primary-copy replication
     python -m repro.runner --grid fig7 --protocol primary-copy --workers 3
+
+    # recovery fault-loads (crash->recover, partition->heal) with
+    # time-to-rejoin / backlog metrics, compared across protocols
+    python -m repro.runner --grid recovery --protocol all
 """
 
 from __future__ import annotations
@@ -32,6 +37,19 @@ from ..core.scenarios import (
 )
 from ..protocols import available_protocols
 from . import CampaignResult, run_campaign
+
+_EPILOG = """\
+environment knobs (every grid honours them; see README "Fault model &
+recovery" for the full table):
+  REPRO_SCALE         per-run transaction scale (default 0.3; 1.0 = paper size)
+  REPRO_WORKERS       default worker-process count (--workers overrides)
+  REPRO_ARTIFACT_DIR  root for resumable JSON artifacts (--artifact-dir overrides)
+  REPRO_PROTOCOL      protocol for the *benchmark* grids (this CLI uses --protocol)
+
+fault actions available to scenario configs: crash / recover /
+partition / heal (the 'recovery' grid and the smoke grid's recovery
+cell exercise crash->recover and partition->heal end to end).
+"""
 
 Grid = List[Tuple[str, ScenarioConfig]]
 
@@ -78,6 +96,22 @@ def _smoke_grid(transactions: int, protocols: Sequence[str]) -> Grid:
                     ),
                 )
             )
+        # One recovery cell per protocol: a member crashes early and
+        # rejoins via state transfer while the campaign is still going.
+        grid.append(
+            (
+                f"{_label_prefix(protocol, protocols)}recovery c40",
+                fault_config(
+                    "crash-recover",
+                    clients=40,
+                    transactions=transactions,
+                    seed=42,
+                    protocol=protocol,
+                    fault_at=5.0,
+                    repair_after=3.0,
+                ),
+            )
+        )
     return grid
 
 
@@ -119,7 +153,34 @@ def _fig7_grid(transactions: int, protocols: Sequence[str]) -> Grid:
     ]
 
 
-GRIDS = {"smoke": _smoke_grid, "fig5": _fig5_grid, "fig7": _fig7_grid}
+def _recovery_grid(transactions: int, protocols: Sequence[str]) -> Grid:
+    """Recovery fault-loads: a member leaves (crash or partition) and
+    rejoins via view-synchronous state transfer mid-campaign."""
+    # Early fault times + a moderate population keep the leave/rejoin
+    # cycle inside the run even at small --transactions counts.
+    return [
+        (
+            f"{_label_prefix(protocol, protocols)}{kind}",
+            fault_config(
+                kind,
+                clients=100,
+                transactions=transactions,
+                protocol=protocol,
+                fault_at=5.0,
+                repair_after=5.0,
+            ),
+        )
+        for protocol in protocols
+        for kind in ("crash-recover", "partition-heal")
+    ]
+
+
+GRIDS = {
+    "smoke": _smoke_grid,
+    "fig5": _fig5_grid,
+    "fig7": _fig7_grid,
+    "recovery": _recovery_grid,
+}
 
 
 def _print_summary(campaign: CampaignResult) -> None:
@@ -140,13 +201,35 @@ def _print_summary(campaign: CampaignResult) -> None:
             f"{total_cpu * 100:5.1f}% "
             f"{result.network_kbps():9.1f} {cell.source:>10s}"
         )
+    recovered = [
+        (cell.label, event)
+        for cell in campaign.cells
+        if cell.status == "ok"
+        for event in cell.result.completed_rejoins()
+    ]
+    if recovered:
+        print(
+            f"\n{'recovery':<28s} {'site':>5s} {'rejoin':>8s} "
+            f"{'backlog':>8s} {'snapshot':>9s} {'orphans':>8s}"
+        )
+        for label, event in recovered:
+            print(
+                f"{label:<28s} {event.site:>5d} "
+                f"{event.time_to_rejoin():7.2f}s "
+                f"{event.backlog_replayed:8d} "
+                f"{event.snapshot_bytes:8d}B "
+                f"{event.orphaned_commits:8d}"
+            )
     for cell in campaign.failures:
         print(f"\n--- {cell.label} ---\n{cell.error}", file=sys.stderr)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.runner", description=__doc__
+        prog="python -m repro.runner",
+        description=__doc__,
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
     parser.add_argument(

@@ -90,6 +90,17 @@ class ClientPool:
         max_transactions_per_client: Optional[int] = None,
         submit: Optional[SubmitFn] = None,
     ):
+        self._sim = sim
+        self._server = server
+        self._workload = workload
+        self._first_id = first_id
+        self._max_per_client = max_transactions_per_client
+        self._submit = submit
+        #: Stopped generations from before a restart: a retired client
+        #: blocked on an in-flight request may still complete it later
+        #: (e.g. a parked primary-copy update re-routed after a heal),
+        #: so its counters keep contributing to the pool totals live.
+        self._retired: list = []
         self.clients = [
             Client(
                 sim,
@@ -106,8 +117,36 @@ class ClientPool:
         for client in self.clients:
             client.stop()
 
+    def restart(self) -> None:
+        """Respawn the population after its site recovered.
+
+        The previous generation's clients are stopped and retired (one
+        still blocked on an in-flight request may complete it later —
+        it issues nothing new afterwards) and fresh processes take over
+        their terminal ids — the workload streams they draw from are
+        keyed by client id, so a restart does not change the load mix.
+        """
+        count = len(self.clients)
+        self.stop_all()
+        self._retired.extend(self.clients)
+        self.clients = [
+            Client(
+                self._sim,
+                self._first_id + i,
+                self._server,
+                self._workload,
+                max_transactions=self._max_per_client,
+                submit=self._submit,
+            )
+            for i in range(count)
+        ]
+
     def total_issued(self) -> int:
-        return sum(c.issued for c in self.clients)
+        return sum(c.issued for c in self.clients) + sum(
+            c.issued for c in self._retired
+        )
 
     def total_completed(self) -> int:
-        return sum(c.completed for c in self.clients)
+        return sum(c.completed for c in self.clients) + sum(
+            c.completed for c in self._retired
+        )

@@ -1,0 +1,75 @@
+"""Docs-consistency check: README.md and ARCHITECTURE.md must keep up
+with the code.  Fails when a registered replication protocol, a fault
+action, or a ``REPRO_*`` environment knob is missing from the docs —
+the drift this PR-sized repo accumulates fastest.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.faults import FAULT_ACTIONS
+from repro.protocols import available_protocols
+
+REPO = Path(__file__).resolve().parent.parent.parent
+README = (REPO / "README.md").read_text(encoding="utf-8")
+ARCHITECTURE = (REPO / "ARCHITECTURE.md").read_text(encoding="utf-8")
+
+
+def used_env_knobs():
+    """Every REPRO_* knob referenced anywhere in the source tree."""
+    knobs = set()
+    for path in (REPO / "src").rglob("*.py"):
+        knobs.update(re.findall(r"REPRO_[A-Z_]+", path.read_text(encoding="utf-8")))
+    return sorted(knobs)
+
+
+class TestReadme:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_registered_protocols_documented(self, protocol):
+        assert f"`{protocol}`" in README, (
+            f"protocol {protocol!r} is registered but missing from README.md"
+        )
+
+    @pytest.mark.parametrize("action", FAULT_ACTIONS)
+    def test_fault_actions_in_taxonomy_table(self, action):
+        assert f"| `{action}` |" in README, (
+            f"fault action {action!r} missing from the README fault-model table"
+        )
+
+    def test_all_env_knobs_in_consolidated_table(self):
+        for knob in used_env_knobs():
+            assert f"| `{knob}` |" in README, (
+                f"{knob} is used in src/ but missing from the README knob table"
+            )
+
+    def test_architecture_doc_referenced(self):
+        assert "ARCHITECTURE.md" in README
+
+
+class TestArchitecture:
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_registered_protocols_in_table(self, protocol):
+        assert f"| `{protocol}` |" in ARCHITECTURE, (
+            f"protocol {protocol!r} missing from the ARCHITECTURE protocol table"
+        )
+
+    @pytest.mark.parametrize("action", FAULT_ACTIONS)
+    def test_fault_actions_in_table(self, action):
+        assert f"| `{action}` |" in ARCHITECTURE, (
+            f"fault action {action!r} missing from the ARCHITECTURE action table"
+        )
+
+    def test_lifecycle_walkthrough_present(self):
+        for phase in ("crash", "partition", "heal", "state transfer", "live"):
+            assert phase in ARCHITECTURE.lower()
+
+    def test_every_package_in_layer_map(self):
+        packages = sorted(
+            p.name for p in (REPO / "src" / "repro").iterdir() if p.is_dir()
+        )
+        for package in packages:
+            assert f"{package}/" in ARCHITECTURE, (
+                f"package {package!r} missing from the ARCHITECTURE layer map"
+            )

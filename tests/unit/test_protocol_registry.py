@@ -138,3 +138,18 @@ class TestSmokeCoverage:
         grid = _smoke_grid(120, available_protocols())
         labels = [label for label, _ in grid]
         assert len(labels) == len(set(labels))
+
+    def test_smoke_grid_includes_a_recovery_cell_per_protocol(self):
+        """The CI smoke campaign must exercise the crash→recover rejoin
+        path for every registered protocol (state transfer is protocol
+        code; a protocol without the hook would only fail here)."""
+        from repro.runner.__main__ import _smoke_grid
+
+        grid = _smoke_grid(120, available_protocols())
+        recovering = {
+            config.protocol
+            for _, config in grid
+            if any(p.recover_at is not None for p in config.faults.values())
+        }
+        missing = set(available_protocols()) - recovering
+        assert not missing, f"protocols without a smoke recovery cell: {missing}"

@@ -204,6 +204,29 @@ class TestResultRoundTrip:
         assert clone.throughput_tpm() == result.throughput_tpm()
         assert clone.network_kbps() == 0.0
 
+    def test_recovery_events_round_trip(self):
+        result = small_result(
+            transactions=150,
+            faults={2: FaultPlan(crash_at=15.0, recover_at=28.0)},
+            max_sim_time=400.0,
+        )
+        clone = roundtrip(result)
+        assert [e.to_dict() for e in clone.recovery_events] == [
+            e.to_dict() for e in result.recovery_events
+        ]
+        assert clone.recovery_events, "rejoin produced no event"
+        assert clone.mean_time_to_rejoin() == result.mean_time_to_rejoin()
+        assert clone.total_orphaned_commits() == result.total_orphaned_commits()
+
+    def test_artifacts_without_recovery_key_still_load(self):
+        """Artifacts written before the recovery subsystem lack the
+        'recovery' key; from_dict must default it to empty."""
+        result = small_result(transactions=100)
+        data = result.to_dict()
+        del data["recovery"]
+        clone = ScenarioResult.from_dict(data)
+        assert clone.recovery_events == []
+
     def test_unknown_format_rejected(self):
         result = small_result(sites=1, transactions=100)
         data = result.to_dict()

@@ -140,7 +140,9 @@ class TestFaultConfigs:
         config = fault_config("random", transactions=100, gcs=custom)
         assert config.gcs.buffer_share == 7
 
-    def test_safety_matrix_covers_all_five_fault_types(self):
+    def test_safety_matrix_covers_all_fault_loads(self):
+        """The paper's five fault types plus the recovery fault-loads
+        (crash→recover and partition→heal, member and sequencer)."""
         plans = safety_fault_plans()
         assert set(plans) == {
             "clock-drift",
@@ -149,9 +151,17 @@ class TestFaultConfigs:
             "bursty-loss",
             "crash-member",
             "crash-sequencer",
+            "crash-recover-member",
+            "crash-recover-sequencer",
+            "partition-heal-member",
+            "partition-heal-sequencer",
         }
         assert plans["crash-sequencer"][0].crash_at is not None
         assert plans["clock-drift"][1].clock_drift_rate > 0
+        recover = plans["crash-recover-sequencer"][0]
+        assert recover.recover_at > recover.crash_at
+        heal = plans["partition-heal-member"][2]
+        assert heal.heal_at > heal.partition_at
 
 
 class TestScenarioConfigValidation:
