@@ -25,11 +25,12 @@ enforced only for ``dbsm``.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Tuple
 
 import pytest
 
+from repro.campaigns import get_campaign
+from repro.core.env import env_choice
 from repro.core.experiment import Scenario, ScenarioConfig, ScenarioResult
 from repro.core.scenarios import (
     CLIENT_LEVELS,
@@ -43,14 +44,16 @@ _grid_cache: Dict[Tuple[str, int], ScenarioResult] = {}
 
 
 def bench_protocol() -> str:
-    """The replication protocol under benchmark (``REPRO_PROTOCOL``)."""
-    protocol = os.environ.get("REPRO_PROTOCOL", "dbsm")
-    if protocol not in available_protocols():
-        raise ValueError(
-            f"REPRO_PROTOCOL={protocol!r} is not registered "
-            f"(available: {', '.join(available_protocols())})"
-        )
-    return protocol
+    """The replication protocol under benchmark (``REPRO_PROTOCOL``).
+
+    Strict: an unregistered value raises (naming the registry) instead
+    of warn-and-fall-back — the protocol decides *what* the benchmark
+    measures, and silently benchmarking ``dbsm`` under a typo'd name
+    would green-light the wrong experiment.  (The CLI's ``--protocol``
+    is equally strict via argparse choices.)"""
+    return env_choice(
+        "REPRO_PROTOCOL", "dbsm", available_protocols(), strict=True
+    )
 
 
 def assert_paper_shapes() -> bool:
@@ -84,33 +87,38 @@ def run_point(label: str, sites: int, cpus: int, clients: int) -> ScenarioResult
 
 @pytest.fixture(scope="session")
 def performance_grid():
-    """All (system config, client level) points of Figures 5/6,
-    executed through the campaign runner (parallel when REPRO_WORKERS
-    is set, resumable when REPRO_ARTIFACT_DIR is set)."""
-    missing = [
-        (label, sites, cpus, clients)
-        for label, sites, cpus in SYSTEM_CONFIGS
-        for clients in CLIENT_LEVELS
-        if (label, clients) not in _grid_cache
-    ]
-    # Artifact labels scope replicated cells by protocol, so comparing
-    # REPRO_PROTOCOL values never clobbers another protocol's stored
-    # cells, while the (protocol-independent) centralized baselines and
-    # the dbsm labels keep their historical names — existing caches stay
-    # valid and the expensive centralized runs are shared.
-    protocol = bench_protocol()
+    """All (system config, client level) points of Figures 5/6, expanded
+    from the registered ``fig5`` campaign spec and executed through the
+    campaign runner (parallel when REPRO_WORKERS is set, resumable when
+    REPRO_ARTIFACT_DIR is set).
 
-    def artifact_label(label: str, sites: int, clients: int) -> str:
-        prefix = f"{protocol} " if sites > 1 and protocol != "dbsm" else ""
-        return f"{prefix}{label} c{clients}"
-
-    labelled = [
-        (artifact_label(label, sites, clients), point_config(sites, cpus, clients))
-        for label, sites, cpus, clients in missing
-    ]
-    campaign = run_campaign(labelled, campaign="fig5-grid", progress=True)
-    for (label, _, _, clients), (_, result) in zip(missing, campaign.pairs()):
-        _grid_cache[(label, clients)] = result
+    The spec's protocol-prefix label rule keeps the historical artifact
+    names: centralized baselines and ``dbsm`` cells stay protocol-free
+    (existing caches remain valid and the expensive centralized runs
+    are shared), while any other REPRO_PROTOCOL value scopes its
+    replicated cells so stored protocols never clobber each other."""
+    spec = (
+        get_campaign("fig5")
+        .with_axis("protocol", (bench_protocol(),))
+        # the bench suite's tighter sampling/drain windows (point_config)
+        .with_axis("sample_interval", (2.0,))
+        .with_axis("drain_time", (5.0,))
+    )
+    system_label = {
+        (sites, cpus): label for label, sites, cpus in SYSTEM_CONFIGS
+    }
+    labelled, keys = [], []
+    for label, config in spec.expand():
+        key = (system_label[(config.sites, config.cpus_per_site)], config.clients)
+        if key in _grid_cache:
+            continue
+        labelled.append((label, config))
+        keys.append(key)
+    campaign = run_campaign(
+        labelled, campaign="fig5-grid", progress=True, manifest=spec.manifest()
+    )
+    for key, (_, result) in zip(keys, campaign.pairs()):
+        _grid_cache[key] = result
     return dict(_grid_cache)
 
 

@@ -8,18 +8,17 @@ decomposition of the calibrated profiles (repro.core.validation); the
 simulated sample is a full model run at the same load.
 """
 
-import os
-
 import pytest
 
 from conftest import print_table
 
 from repro.core.experiment import Scenario, ScenarioConfig
 from repro.core.metrics import qq_points
+from repro.core.scenarios import scale
 from repro.core.validation import reference_latency_sample
 from repro.tpcc.profiles import default_profiles
 
-TRANSACTIONS = max(1000, int(5000 * float(os.environ.get("REPRO_SCALE", "0.3"))))
+TRANSACTIONS = max(1000, int(5000 * scale()))
 
 READONLY = ("orderstatus-long", "orderstatus-short", "stocklevel")
 UPDATE = ("neworder", "payment-long", "payment-short", "delivery")

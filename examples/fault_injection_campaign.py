@@ -1,58 +1,55 @@
 #!/usr/bin/env python
 """Fault-injection campaign: the §5.3 experiment end to end.
 
-Runs a 3-site cluster under the full fault matrix — the paper's five
-fault types (clock drift, scheduling latency, random loss, bursty
-loss, crash of a member / of the sequencer) plus the recovery
-fault-loads (crash→recover and partition→heal, for an ordinary member
-and for the sequencer) — and for each run verifies the safety
-condition (all operational sites committed exactly the same
-transaction sequence, with rejoined replicas bit-identical to the
-survivors) and reports the performance impact and recovery metrics.
+Runs the registered ``safety`` campaign — the paper's five fault types
+(clock drift, scheduling latency, random loss, bursty loss, crash of a
+member / of the sequencer) plus the recovery fault-loads
+(crash→recover and partition→heal, for an ordinary member and for the
+sequencer) — and for each cell verifies the safety condition (all
+operational sites committed exactly the same transaction sequence, with
+rejoined replicas bit-identical to the survivors) and reports the
+performance impact and recovery metrics.
 
+The whole matrix is one named campaign spec, so the identical run is
+also available as ``python -m repro.runner run safety --set
+transactions=600`` — and this script only *slices* the registered spec.
 Knobs (the same ones every entry point honours — see README "Fault
 model & recovery"): set ``REPRO_PROTOCOL=primary-copy`` to run the
 matrix under passive replication instead of the DBSM (the command-line
-equivalent is ``python -m repro.runner --protocol``), ``REPRO_WORKERS=N``
-to spread cells across N worker processes, and ``REPRO_ARTIFACT_DIR``
-to make the campaign resumable (a second invocation loads completed
-cells from ``$REPRO_ARTIFACT_DIR/faults/``).
+equivalent is ``--protocol``), ``REPRO_WORKERS=N`` to spread cells
+across N worker processes, and ``REPRO_ARTIFACT_DIR`` to make the
+campaign resumable (a second invocation loads completed cells from
+``$REPRO_ARTIFACT_DIR/faults/``, where the spec hash is also recorded
+for provenance).
 
 Run:  python examples/fault_injection_campaign.py
 """
 
-import os
-
-from repro import ScenarioConfig
+from repro import get_campaign
+from repro.core.env import env_choice
 from repro.core.metrics import quantiles
-from repro.core.scenarios import safety_fault_plans
+from repro.protocols import available_protocols
 from repro.runner import resolve_workers, run_campaign
 
 
 def main() -> None:
-    protocol = os.environ.get("REPRO_PROTOCOL", "dbsm")
-    plans = safety_fault_plans(sites=3, seed=7)
-    grid = [
-        (
-            name,
-            ScenarioConfig(
-                sites=3,
-                cpus_per_site=1,
-                clients=90,
-                transactions=600,
-                seed=123,
-                protocol=protocol,
-                faults=plans[name],
-                max_sim_time=600.0,
-            ),
-        )
-        for name in sorted(plans)
-    ]
+    protocol = env_choice(
+        "REPRO_PROTOCOL", "dbsm", available_protocols(), strict=True
+    )
+    spec = (
+        get_campaign("safety")
+        .with_axis("protocol", (protocol,))
+        .with_axis("transactions", (600,))
+    )
     workers = resolve_workers()
     campaign = run_campaign(
-        grid, workers=workers, campaign="faults", progress=workers > 1
+        spec.expand(),
+        workers=workers,
+        campaign="faults",
+        progress=workers > 1,
+        manifest=spec.manifest(),
     )
-    print(f"protocol: {protocol}\n")
+    print(f"protocol: {protocol}  (spec hash {spec.spec_hash()})\n")
     print(f"{'fault':<26s} {'records':>8s} {'tpm':>8s} "
           f"{'cert p50/p99 (ms)':>18s} {'commits/site':>22s}")
     for name, result in campaign.pairs():

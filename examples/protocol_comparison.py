@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Cross-protocol comparison: DBSM certification vs primary-copy.
 
-Runs the same 3-site / 500-client cell under every registered
-replication protocol — identical workload, seed, network and fault-free
-conditions; only the protocol differs — and prints the throughput /
-latency / abort-rate comparison the pluggable protocol layer exists
-for.
+Declares one campaign spec whose only sweep axis is the replication
+protocol — identical workload, seed, network and fault-free conditions;
+the protocol is the single variable — expands it, and prints the
+throughput / latency / abort-rate comparison the pluggable protocol
+layer exists for.
 
 Expected shape: at this load the deferred-update DBSM spreads update
 execution over all sites, while primary-copy funnels every update
@@ -14,41 +14,44 @@ latency, and primary-copy's aborts are write-lock conflicts piling up
 at the primary rather than certification failures.
 
 Set ``REPRO_WORKERS=2`` to run the protocols in parallel worker
-processes (results are deterministic and identical either way).
+processes (results are deterministic and identical either way).  The
+same comparison is one command away for any registered campaign:
+``python -m repro.runner run fig5 --protocol all``.
 
 Run:  python examples/protocol_comparison.py
 """
 
-from repro import ScenarioConfig, available_protocols
+from repro import CampaignSpec, available_protocols
 from repro.runner import resolve_workers, run_campaign
 
 SITES = 3
 CLIENTS = 500
 TRANSACTIONS = 1500
 
+SPEC = CampaignSpec(
+    name="protocol-comparison",
+    description="one 3-site/500-client cell per registered protocol",
+    kind="performance",
+    label="{protocol}",
+    axes=[("protocol", available_protocols())],
+    template={
+        "sites": SITES,
+        "cpus_per_site": 1,
+        "clients": CLIENTS,
+        "transactions": TRANSACTIONS,
+        "seed": 2005,
+        "seed_per_clients": False,
+    },
+)
+
 
 def main() -> None:
-    protocols = available_protocols()
     workers = resolve_workers()
     print(
         f"{SITES} sites, {CLIENTS} clients, {TRANSACTIONS} transactions "
         f"per protocol, {workers} worker(s)\n"
     )
-    grid = [
-        (
-            protocol,
-            ScenarioConfig(
-                sites=SITES,
-                cpus_per_site=1,
-                clients=CLIENTS,
-                transactions=TRANSACTIONS,
-                seed=2005,
-                protocol=protocol,
-            ),
-        )
-        for protocol in protocols
-    ]
-    campaign = run_campaign(grid, workers=workers, progress=workers > 1)
+    campaign = run_campaign(SPEC.expand(), workers=workers, progress=workers > 1)
     print(
         f"{'protocol':<14s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
         f"{'cpu':>6s} {'proto cpu':>9s} {'net KB/s':>9s}"

@@ -6,10 +6,13 @@ tests ... the ability to autonomously run a set of realistic load and
 fault scenarios and automatically check for performance or reliability
 regressions has proved invaluable."
 
-This demo records baselines for a small scenario matrix (a replicated
-cluster, a loss-injected cluster), then re-checks them — clean by
-construction, since the cost-model clock makes runs deterministic — and
-finally shows a doctored baseline being caught as a regression.
+This demo declares its scenario matrix as a campaign spec — a fault-free
+replicated cluster and a loss-injected one, i.e. one ``fault`` axis —
+builds a ``RegressionSuite`` straight from it with
+``RegressionSuite.from_campaign``, records baselines, then re-checks
+them — clean by construction, since the cost-model clock makes runs
+deterministic — and finally shows a doctored baseline being caught as a
+regression.
 
 The suite sweeps its scenarios through the campaign runner: set
 ``REPRO_WORKERS=2`` to record and check both scenarios in parallel
@@ -22,21 +25,22 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro import ScenarioConfig, random_loss
+from repro import CampaignSpec
 from repro.core.regression import RegressionSuite
 from repro.runner import resolve_workers
 
+SPEC = CampaignSpec(
+    name="regression-demo",
+    description="a replicated cluster, fault-free and under 5% random loss",
+    kind="fault",
+    label="loss={fault}",
+    axes=[("fault", ("none", "random"))],
+    template={"sites": 3, "clients": 60, "transactions": 300, "seed": 11},
+)
+
 
 def main() -> None:
-    suite = RegressionSuite({
-        "replicated": ScenarioConfig(
-            sites=3, cpus_per_site=1, clients=60, transactions=300, seed=11
-        ),
-        "replicated-lossy": ScenarioConfig(
-            sites=3, cpus_per_site=1, clients=60, transactions=300, seed=12,
-            faults={i: random_loss(0.05, seed=40 + i) for i in range(3)},
-        ),
-    }, workers=resolve_workers())
+    suite = RegressionSuite.from_campaign(SPEC, workers=resolve_workers())
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "baselines.json"
@@ -56,7 +60,7 @@ def main() -> None:
         print("\ninjecting a fake 2x-throughput baseline (simulating a "
               "code change that halved throughput) ...")
         data = json.loads(path.read_text())
-        data["replicated"]["metrics"]["throughput_tpm"] *= 2.0
+        data["loss=none"]["metrics"]["throughput_tpm"] *= 2.0
         path.write_text(json.dumps(data))
         findings = suite.check(path)
         for finding in findings:

@@ -6,26 +6,45 @@ scale: a replicated database with N single-CPU sites tracks the
 throughput of a centralized server with N CPUs — replication does not
 limit throughput, while adding the resilience of multiple sites.
 
-The three configurations run through the campaign runner: set
-``REPRO_WORKERS=3`` to execute them in parallel worker processes (the
-printed metrics are identical either way — runs are deterministic).
-The replicated cells use the DBSM; pass ``protocol="primary-copy"`` in
-the config (or compare via ``python -m repro.runner --grid fig5
---protocol all``) for the passive-replication curve.
+The three configurations are a campaign spec sweeping one ``system``
+axis of ``[label, sites, cpus_per_site]`` triples (the Figure 5 idiom):
+set ``REPRO_WORKERS=3`` to execute them in parallel worker processes
+(the printed metrics are identical either way — runs are
+deterministic).  The replicated cell uses the DBSM; widen with
+``SPEC.with_axis("protocol", available_protocols())`` — or compare via
+``python -m repro.runner run fig5 --protocol all`` — for the
+passive-replication curve.
 
 Run:  python examples/replication_scalability.py
 """
 
-from repro import ScenarioConfig
+from repro import CampaignSpec
 from repro.runner import resolve_workers, run_campaign
 
 CLIENTS = 240
 TRANSACTIONS = 1200
 
-CONFIGS = (
-    ("centralized, 1 CPU ", 1, 1),
-    ("centralized, 3 CPUs", 1, 3),
-    ("replicated, 3 sites", 3, 1),
+SPEC = CampaignSpec(
+    name="replication-scalability",
+    description="N centralized CPUs vs N replicated single-CPU sites",
+    kind="performance",
+    label="{system}",
+    axes=[
+        (
+            "system",
+            (
+                ("centralized, 1 CPU ", 1, 1),
+                ("centralized, 3 CPUs", 1, 3),
+                ("replicated, 3 sites", 3, 1),
+            ),
+        ),
+    ],
+    template={
+        "clients": CLIENTS,
+        "transactions": TRANSACTIONS,
+        "seed": 99,
+        "seed_per_clients": False,
+    },
 )
 
 
@@ -33,20 +52,7 @@ def main() -> None:
     workers = resolve_workers()
     print(f"{CLIENTS} clients, {TRANSACTIONS} transactions per run, "
           f"{workers} worker(s)\n")
-    grid = [
-        (
-            label,
-            ScenarioConfig(
-                sites=sites,
-                cpus_per_site=cpus,
-                clients=CLIENTS,
-                transactions=TRANSACTIONS,
-                seed=99,
-            ),
-        )
-        for label, sites, cpus in CONFIGS
-    ]
-    campaign = run_campaign(grid, workers=workers, progress=workers > 1)
+    campaign = run_campaign(SPEC.expand(), workers=workers, progress=workers > 1)
     print(f"{'configuration':<22s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
           f"{'cpu':>6s} {'net KB/s':>9s}")
     for label, result in campaign.pairs():

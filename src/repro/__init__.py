@@ -43,6 +43,12 @@ from .core import (
     random_loss,
     scheduling_latency,
 )
+from .campaigns import (
+    CampaignSpec,
+    available_campaigns,
+    get_campaign,
+    register_campaign,
+)
 from .gcs import GcsConfig, RecoveryEvent
 from .protocols import (
     ReplicationProtocol,
@@ -73,6 +79,10 @@ __all__ = [
     "qq_points",
     "random_loss",
     "scheduling_latency",
+    "CampaignSpec",
+    "available_campaigns",
+    "get_campaign",
+    "register_campaign",
     "GcsConfig",
     "RecoveryEvent",
     "ReplicationProtocol",

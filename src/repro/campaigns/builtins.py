@@ -1,0 +1,167 @@
+"""The built-in campaigns, as declarative specs.
+
+These reproduce — cell for cell, label for label — the grids the runner
+CLI has always shipped (``smoke``, ``fig5``, ``fig7``, ``recovery``;
+previously hard-coded builder functions), plus ``safety``, the §5.3
+fault matrix the fault-injection example runs.  A legacy-parity unit
+test (``tests/unit/test_campaign_spec.py``) pins each spec's expansion
+against the removed builders' output, so historical artifact
+directories keep resuming.
+
+Every spec leaves ``transactions`` at ``None`` (the ``REPRO_SCALE``-\
+scaled paper count) and sweeps only the default protocol; the CLI's
+``--protocol`` / ``--set`` and the composition helpers widen them.
+"""
+
+from __future__ import annotations
+
+from ..core.scenarios import CLIENT_LEVELS, SYSTEM_CONFIGS, safety_fault_plans
+from .registry import register_campaign
+from .spec import DEFAULT_PROTOCOL, CampaignSpec
+
+
+def _smoke_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="smoke",
+        description=(
+            "tiny CI grid: centralized and replicated cells plus one "
+            "crash->recover rejoin cell per protocol"
+        ),
+        axes=[("transactions", (None,)), ("seed", (42,))],
+        children=(
+            CampaignSpec(
+                name="smoke-centralized",
+                kind="performance",
+                label="1x1cpu c{clients}",
+                template={"sites": 1, "cpus_per_site": 1},
+                axes=[("clients", (40, 80))],
+            ),
+            CampaignSpec(
+                name="smoke-replicated",
+                axes=[("protocol", (DEFAULT_PROTOCOL,))],
+                children=(
+                    CampaignSpec(
+                        name="smoke-replicated-cells",
+                        kind="performance",
+                        label="{protocol_prefix}3x1cpu c{clients}",
+                        template={"sites": 3, "cpus_per_site": 1},
+                        axes=[("clients", (40, 80))],
+                    ),
+                    CampaignSpec(
+                        name="smoke-recovery",
+                        kind="fault",
+                        label="{protocol_prefix}recovery c{clients}",
+                        template={"fault_at": 5.0, "repair_after": 3.0},
+                        axes=[
+                            ("fault", ("crash-recover",)),
+                            ("clients", (40,)),
+                        ],
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _fig5_spec() -> CampaignSpec:
+    centralized = tuple(sc for sc in SYSTEM_CONFIGS if sc[1] == 1)
+    replicated = tuple(sc for sc in SYSTEM_CONFIGS if sc[1] > 1)
+    return CampaignSpec(
+        name="fig5",
+        description=(
+            "the Figure 5/6 performance sweep: centralized 1/3/6-CPU "
+            "baselines and replicated 3/6-site systems, 100-2000 clients"
+        ),
+        axes=[("transactions", (None,)), ("seed", (42,))],
+        children=(
+            CampaignSpec(
+                name="fig5-centralized",
+                kind="performance",
+                label="{system} c{clients}",
+                axes=[("system", centralized), ("clients", CLIENT_LEVELS)],
+            ),
+            CampaignSpec(
+                name="fig5-replicated",
+                kind="performance",
+                label="{protocol_prefix}{system} c{clients}",
+                axes=[
+                    ("system", replicated),
+                    ("protocol", (DEFAULT_PROTOCOL,)),
+                    ("clients", CLIENT_LEVELS),
+                ],
+            ),
+        ),
+    )
+
+
+def _fig7_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="fig7",
+        description=(
+            "the Figure 7 / Table 2 fault grid: no faults vs 5% random "
+            "vs 5% bursty loss under the prototype GCS configuration"
+        ),
+        kind="fault",
+        label="{protocol_prefix}{fault}",
+        axes=[
+            ("transactions", (None,)),
+            ("seed", (42,)),
+            ("protocol", (DEFAULT_PROTOCOL,)),
+            ("fault", ("none", "random", "bursty")),
+        ],
+    )
+
+
+def _recovery_spec() -> CampaignSpec:
+    # Early fault times + a moderate population keep the leave/rejoin
+    # cycle inside the run even at small transaction counts.
+    return CampaignSpec(
+        name="recovery",
+        description=(
+            "recovery fault-loads: a member leaves (crash or partition) "
+            "and rejoins via view-synchronous state transfer mid-campaign"
+        ),
+        kind="fault",
+        label="{protocol_prefix}{fault}",
+        template={"clients": 100, "fault_at": 5.0, "repair_after": 5.0},
+        axes=[
+            ("transactions", (None,)),
+            ("seed", (42,)),
+            ("protocol", (DEFAULT_PROTOCOL,)),
+            ("fault", ("crash-recover", "partition-heal")),
+        ],
+    )
+
+
+def _safety_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="safety",
+        description=(
+            "the full §5.3 safety matrix: five paper fault types plus "
+            "the recovery fault-loads, member and sequencer variants"
+        ),
+        kind="safety",
+        label="{protocol_prefix}{fault}",
+        template={
+            "sites": 3,
+            "clients": 90,
+            "seed": 123,
+            "plan_seed": 7,
+            "max_sim_time": 600.0,
+        },
+        axes=[
+            ("transactions", (None,)),
+            ("protocol", (DEFAULT_PROTOCOL,)),
+            ("fault", tuple(sorted(safety_fault_plans()))),
+        ],
+    )
+
+
+for _build in (
+    _smoke_spec,
+    _fig5_spec,
+    _fig7_spec,
+    _recovery_spec,
+    _safety_spec,
+):
+    register_campaign(_build())

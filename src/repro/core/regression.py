@@ -109,6 +109,18 @@ class RegressionSuite:
         #: sequential sweeps see identical metrics.
         self.workers = workers
 
+    @classmethod
+    def from_campaign(
+        cls,
+        spec,
+        tolerances: Optional[Dict[str, float]] = None,
+        workers: Optional[int] = None,
+    ) -> "RegressionSuite":
+        """A suite over a :class:`~repro.campaigns.CampaignSpec`: one
+        named scenario per expanded cell, so the regression matrix is
+        declared (and persisted/diffed) the same way campaigns are."""
+        return cls(dict(spec.expand()), tolerances=tolerances, workers=workers)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

@@ -19,11 +19,10 @@ full benchmark suite in laptop territory while preserving every shape.
 
 from __future__ import annotations
 
-import os
-import warnings
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..gcs.config import GcsConfig
+from .env import env_float
 from .faults import (
     FaultPlan,
     bursty_loss,
@@ -65,44 +64,15 @@ SYSTEM_CONFIGS: Tuple[Tuple[str, int, int], ...] = (
 CLIENT_LEVELS: Tuple[int, ...] = (100, 500, 1000, 1500, 2000)
 
 
-#: ``scale()`` complaints already issued, keyed by the offending value —
-#: each distinct misconfiguration warns exactly once per process.
-_SCALE_WARNED: set = set()
-
-
-def _warn_scale_once(key: Tuple[str, str], message: str) -> None:
-    if key in _SCALE_WARNED:
-        return
-    _SCALE_WARNED.add(key)
-    warnings.warn(message, RuntimeWarning, stacklevel=3)
-
-
 def scale() -> float:
     """The run-size scale factor from ``REPRO_SCALE`` (default 0.3).
 
     An unparseable value falls back to the default, and an out-of-range
     value is clamped to [0.01, 1.0] — each with a warning (once per
-    distinct value) instead of silently, so a typo like
-    ``REPRO_SCALE=O.5`` cannot quietly shrink a campaign.
+    distinct value, via :mod:`repro.core.env`) instead of silently, so
+    a typo like ``REPRO_SCALE=O.5`` cannot quietly shrink a campaign.
     """
-    raw = os.environ.get("REPRO_SCALE", "0.3")
-    try:
-        value = float(raw)
-        if value != value:  # NaN: parseable but meaningless
-            raise ValueError(raw)
-    except ValueError:
-        _warn_scale_once(
-            ("unparseable", raw),
-            f"REPRO_SCALE={raw!r} is not a number; using the default 0.3",
-        )
-        return 0.3
-    clamped = max(0.01, min(value, 1.0))
-    if clamped != value:
-        _warn_scale_once(
-            ("clamped", raw),
-            f"REPRO_SCALE={raw} is outside [0.01, 1.0]; clamped to {clamped}",
-        )
-    return clamped
+    return env_float("REPRO_SCALE", 0.3, 0.01, 1.0)
 
 
 def scaled_transactions(base: int = PAPER_TRANSACTIONS) -> int:
@@ -123,7 +93,9 @@ def performance_config(
         sites=sites,
         cpus_per_site=cpus_per_site,
         clients=clients,
-        transactions=transactions or scaled_transactions(),
+        transactions=(
+            transactions if transactions is not None else scaled_transactions()
+        ),
         seed=seed,
         protocol=protocol,
         **overrides,
@@ -194,7 +166,9 @@ def fault_config(
         sites=sites,
         cpus_per_site=1,
         clients=clients,
-        transactions=transactions or scaled_transactions(),
+        transactions=(
+            transactions if transactions is not None else scaled_transactions()
+        ),
         seed=seed,
         protocol=protocol,
         faults=faults,
@@ -226,13 +200,18 @@ def safety_fault_plans(sites: int = 3, seed: int = 5) -> Dict[str, Dict[int, Fau
 
 
 def run_grid(
-    configs: Iterable[Tuple[str, ScenarioConfig]],
+    configs: Union["CampaignSpec", Iterable[Tuple[str, ScenarioConfig]]],
     workers: Optional[int] = None,
     artifact_dir: Optional[str] = None,
     campaign: Optional[str] = None,
     progress: object = False,
 ) -> List[Tuple[str, ScenarioResult]]:
-    """Run a list of labelled configurations through the campaign runner.
+    """Run a campaign spec or labelled configurations through the runner.
+
+    ``configs`` may be a :class:`repro.campaigns.CampaignSpec` — it is
+    expanded into its labelled cells, the campaign name defaults to the
+    spec's, and the spec hash is recorded in the artifact store for
+    provenance — or the legacy list of ``(label, config)`` pairs.
 
     The default (``workers=None`` with ``REPRO_WORKERS`` unset) keeps
     the historical behavior: every scenario runs sequentially in this
@@ -240,12 +219,20 @@ def run_grid(
     directory makes the grid resumable.  Raises
     :class:`repro.runner.CampaignError` if any cell failed.
     """
-    from ..runner import run_campaign  # local: keeps core import-light
+    from ..campaigns import CampaignSpec  # local: keeps core import-light
+    from ..runner import run_campaign
 
+    manifest = None
+    if isinstance(configs, CampaignSpec):
+        spec = configs
+        campaign = campaign if campaign is not None else spec.name
+        manifest = spec.manifest()
+        configs = spec.expand()
     return run_campaign(
         configs,
         workers=workers,
         artifact_dir=artifact_dir,
         campaign=campaign,
         progress=progress,
+        manifest=manifest,
     ).pairs()

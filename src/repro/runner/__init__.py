@@ -45,10 +45,11 @@ from .runner import (
     resolve_workers,
     run_campaign,
 )
-from .store import ArtifactStore
+from .store import MANIFEST_NAME, ArtifactStore
 
 __all__ = [
     "ARTIFACT_DIR_ENV",
+    "MANIFEST_NAME",
     "WORKERS_ENV",
     "ArtifactStore",
     "CampaignCell",

@@ -1,186 +1,66 @@
 """Command-line campaign driver: ``python -m repro.runner``.
 
-Runs one of the canonical grids through the parallel runner and prints a
-paper-style summary table.  Replicated cells run under the replication
-protocol selected with ``--protocol`` (``all`` compares every registered
-protocol side by side); centralized baseline cells are protocol-free and
-appear once.  Examples::
+Campaigns are declarative :class:`~repro.campaigns.CampaignSpec` grids,
+resolved from the named-campaign registry or from an exported JSON spec
+file, sliced or widened with ``--set``, and executed through the
+parallel runner with a paper-style summary table.  Subcommands::
+
+    # what is registered, and what would a campaign run?
+    python -m repro.runner list
+    python -m repro.runner describe smoke
+    python -m repro.runner describe fig5 --set clients=100,500
 
     # tiny pool-path smoke test over every protocol (CI uses this);
     # includes one crash->recover cell per protocol
-    python -m repro.runner --grid smoke --protocol all --workers 2 --transactions 120
+    python -m repro.runner run smoke --protocol all --workers 2 --transactions 120
 
     # the Figure 5/6 performance sweep, resumable under results/fig5/
-    python -m repro.runner --grid fig5 --workers 4 --artifact-dir results/fig5
+    python -m repro.runner run fig5 --workers 4 --artifact-dir results/fig5
 
-    # the Figure 7 fault grid under primary-copy replication
-    python -m repro.runner --grid fig7 --protocol primary-copy --workers 3
+    # slice or widen any axis of a registered campaign
+    python -m repro.runner run fig7 --set fault=random,bursty --set seed=42,43
 
-    # recovery fault-loads (crash->recover, partition->heal) with
-    # time-to-rejoin / backlog metrics, compared across protocols
-    python -m repro.runner --grid recovery --protocol all
+    # save a spec, edit/diff it, re-run it from the file; the artifact
+    # store records the spec hash for provenance
+    python -m repro.runner export recovery -o recovery.json
+    python -m repro.runner run --spec recovery.json --protocol all
+
+The legacy ``--grid NAME`` flag form is still accepted and translated
+to ``run NAME`` with a deprecation note.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional
 
-from ..core.experiment import ScenarioConfig
-from ..core.scenarios import (
-    CLIENT_LEVELS,
-    SYSTEM_CONFIGS,
-    fault_config,
-    performance_config,
-    scaled_transactions,
+from ..campaigns import (
+    CampaignSpec,
+    CampaignSpecError,
+    available_campaigns,
+    get_campaign,
+    parse_axis_override,
 )
 from ..protocols import available_protocols
 from . import CampaignResult, run_campaign
 
 _EPILOG = """\
-environment knobs (every grid honours them; see README "Fault model &
+environment knobs (every campaign honours them; see README "Fault model &
 recovery" for the full table):
   REPRO_SCALE         per-run transaction scale (default 0.3; 1.0 = paper size)
   REPRO_WORKERS       default worker-process count (--workers overrides)
   REPRO_ARTIFACT_DIR  root for resumable JSON artifacts (--artifact-dir overrides)
   REPRO_PROTOCOL      protocol for the *benchmark* grids (this CLI uses --protocol)
 
-fault actions available to scenario configs: crash / recover /
-partition / heal (the 'recovery' grid and the smoke grid's recovery
-cell exercise crash->recover and partition->heal end to end).
+axis overrides compose left to right: --set protocol=dbsm,primary-copy
+--set clients=100,500 --set transactions=600.  --protocol and
+--transactions are sugar for the matching --set.
 """
 
-Grid = List[Tuple[str, ScenarioConfig]]
-
-
-def _label_prefix(protocol: str, protocols: Sequence[str]) -> str:
-    """Replicated cell-label prefix for ``protocol``.
-
-    A lone default-protocol run keeps the historical protocol-free
-    labels, so artifact directories recorded before protocols became a
-    grid axis still resume; any other selection names the protocol in
-    every replicated label."""
-    if list(protocols) == ["dbsm"]:
-        return ""
-    return f"{protocol} "
-
-
-def _smoke_grid(transactions: int, protocols: Sequence[str]) -> Grid:
-    grid: Grid = []
-    for clients in (40, 80):
-        grid.append(
-            (
-                f"1x1cpu c{clients}",
-                ScenarioConfig(
-                    sites=1,
-                    cpus_per_site=1,
-                    clients=clients,
-                    transactions=transactions,
-                    seed=42 + clients,
-                ),
-            )
-        )
-    for protocol in protocols:
-        for clients in (40, 80):
-            grid.append(
-                (
-                    f"{_label_prefix(protocol, protocols)}3x1cpu c{clients}",
-                    ScenarioConfig(
-                        sites=3,
-                        cpus_per_site=1,
-                        clients=clients,
-                        transactions=transactions,
-                        seed=42 + clients,
-                        protocol=protocol,
-                    ),
-                )
-            )
-        # One recovery cell per protocol: a member crashes early and
-        # rejoins via state transfer while the campaign is still going.
-        grid.append(
-            (
-                f"{_label_prefix(protocol, protocols)}recovery c40",
-                fault_config(
-                    "crash-recover",
-                    clients=40,
-                    transactions=transactions,
-                    seed=42,
-                    protocol=protocol,
-                    fault_at=5.0,
-                    repair_after=3.0,
-                ),
-            )
-        )
-    return grid
-
-
-def _fig5_grid(transactions: int, protocols: Sequence[str]) -> Grid:
-    # Centralized baselines are protocol-free and appear once (labelled
-    # as before); replicated configurations appear once per protocol.
-    grid: Grid = []
-    for label, sites, cpus in SYSTEM_CONFIGS:
-        for protocol in [None] if sites == 1 else protocols:
-            for clients in CLIENT_LEVELS:
-                prefix = (
-                    "" if protocol is None else _label_prefix(protocol, protocols)
-                )
-                cell_label = f"{prefix}{label} c{clients}"
-                grid.append(
-                    (
-                        cell_label,
-                        performance_config(
-                            sites,
-                            cpus,
-                            clients,
-                            transactions=transactions,
-                            seed=42 + clients,
-                            protocol=protocol or "dbsm",
-                        ),
-                    )
-                )
-    return grid
-
-
-def _fig7_grid(transactions: int, protocols: Sequence[str]) -> Grid:
-    return [
-        (
-            f"{_label_prefix(protocol, protocols)}{kind}",
-            fault_config(kind, transactions=transactions, protocol=protocol),
-        )
-        for protocol in protocols
-        for kind in ("none", "random", "bursty")
-    ]
-
-
-def _recovery_grid(transactions: int, protocols: Sequence[str]) -> Grid:
-    """Recovery fault-loads: a member leaves (crash or partition) and
-    rejoins via view-synchronous state transfer mid-campaign."""
-    # Early fault times + a moderate population keep the leave/rejoin
-    # cycle inside the run even at small --transactions counts.
-    return [
-        (
-            f"{_label_prefix(protocol, protocols)}{kind}",
-            fault_config(
-                kind,
-                clients=100,
-                transactions=transactions,
-                protocol=protocol,
-                fault_at=5.0,
-                repair_after=5.0,
-            ),
-        )
-        for protocol in protocols
-        for kind in ("crash-recover", "partition-heal")
-    ]
-
-
-GRIDS = {
-    "smoke": _smoke_grid,
-    "fig5": _fig5_grid,
-    "fig7": _fig7_grid,
-    "recovery": _recovery_grid,
-}
+_SUBCOMMANDS = ("run", "list", "describe", "export")
 
 
 def _print_summary(campaign: CampaignResult) -> None:
@@ -224,53 +104,262 @@ def _print_summary(campaign: CampaignResult) -> None:
         print(f"\n--- {cell.label} ---\n{cell.error}", file=sys.stderr)
 
 
-def main(argv=None) -> int:
+# ----------------------------------------------------------------------
+# spec resolution
+# ----------------------------------------------------------------------
+def _resolve_spec(args: argparse.Namespace) -> CampaignSpec:
+    """Registered name or --spec file, then the axis overrides."""
+    if args.spec is not None:
+        if args.name is not None:
+            raise CampaignSpecError(
+                "give either a campaign name or --spec FILE, not both"
+            )
+        try:
+            data = json.loads(Path(args.spec).read_text())
+        except OSError as exc:
+            raise CampaignSpecError(f"cannot read spec file: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CampaignSpecError(
+                f"{args.spec}: not valid JSON ({exc})"
+            ) from exc
+        spec = CampaignSpec.from_dict(data)
+    elif args.name is not None:
+        spec = get_campaign(args.name)
+    else:
+        raise CampaignSpecError(
+            "give a campaign name (see 'list') or --spec FILE"
+        )
+    for override in args.set or []:
+        axis, values = parse_axis_override(override)
+        spec = spec.with_axis(axis, values)
+    if getattr(args, "protocol", None) is not None:
+        protocols = (
+            available_protocols()
+            if args.protocol == "all"
+            else (args.protocol,)
+        )
+        spec = spec.with_axis("protocol", tuple(protocols))
+    # `is None` deliberately: `--transactions 0` must surface the
+    # validation error, not silently fall back to the scaled default.
+    if getattr(args, "transactions", None) is not None:
+        spec = spec.with_axis("transactions", (args.transactions,))
+    return spec
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    cells = spec.expand()
+    campaign = run_campaign(
+        cells,
+        workers=args.workers,
+        artifact_dir=args.artifact_dir,
+        campaign=spec.name,
+        progress=not args.quiet,
+        manifest=spec.manifest(),
+    )
+    _print_summary(campaign)
+    return 0 if campaign.ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_campaigns():
+        spec = get_campaign(name)
+        rows.append((name, len(spec.expand()), spec.description))
+    width = max(len(name) for name, _, _ in rows)
+    print(f"{'campaign':<{width}s}  {'cells':>5s}  description")
+    for name, cells, description in rows:
+        print(f"{name:<{width}s}  {cells:>5d}  {description}")
+    print(
+        "\nrun one with: python -m repro.runner run <campaign> "
+        "[--protocol all] [--set axis=v1,v2 ...]"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    cells = spec.expand()
+    print(f"campaign:    {spec.name}")
+    if spec.description:
+        print(f"description: {spec.description}")
+    print(f"spec hash:   {spec.spec_hash()}")
+    print("axes:")
+    for name, values in spec.axis_summary().items():
+        shown = ", ".join(_describe_value(name, v) for v in values)
+        print(f"  {name}: {shown}")
+    print(f"cells ({len(cells)}):")
+    for label, config in cells:
+        print(
+            f"  {label:<32s} {config.sites}x{config.cpus_per_site}cpu "
+            f"c{config.clients} t{config.transactions} "
+            f"seed={config.seed} protocol={config.protocol}"
+        )
+    return 0
+
+
+def _describe_value(name: str, value: object) -> str:
+    if value is None:
+        return "<scaled default>" if name == "transactions" else "None"
+    if name == "system" and isinstance(value, (tuple, list)):
+        return f"{value[0]} ({value[1]}x{value[2]}cpu)"
+    return str(value)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    payload = dict(spec.to_dict())
+    payload["spec_hash"] = spec.spec_hash()
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(
+            f"wrote {spec.name} ({len(spec.expand())} cells, "
+            f"hash {spec.spec_hash()}) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered campaign name (see 'list')",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="load the campaign from an exported JSON spec file "
+        "instead of the registry",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=None,
+        metavar="AXIS=V1[,V2...]",
+        help="override one sweep axis (repeatable); values parse as JSON "
+        "scalars, else strings",
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=sorted(available_protocols()) + ["all"],
+        default=None,
+        help="replication protocol for the replicated cells "
+        "('all' runs every registered protocol side by side); "
+        "sugar for --set protocol=...",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
         description=__doc__,
         epilog=_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("--grid", choices=sorted(GRIDS), default="smoke")
-    parser.add_argument(
-        "--protocol",
-        choices=sorted(available_protocols()) + ["all"],
-        default="dbsm",
-        help="replication protocol for the replicated cells "
-        "('all' runs every registered protocol side by side)",
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run",
+        help="expand a campaign spec and execute it",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument(
+    _add_spec_arguments(run_p)
+    run_p.add_argument(
         "--workers", type=int, default=None, help="default: REPRO_WORKERS or 1"
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--artifact-dir",
         default=None,
         help="campaign directory for resumable JSON artifacts "
-        "(default: REPRO_ARTIFACT_DIR/<grid> when that is set)",
+        "(default: REPRO_ARTIFACT_DIR/<campaign> when that is set)",
     )
-    parser.add_argument(
+    run_p.add_argument(
         "--transactions",
         type=int,
         default=None,
-        help="per-cell transaction count (default: REPRO_SCALE-scaled paper count)",
+        help="per-cell transaction count (default: REPRO_SCALE-scaled "
+        "paper count); sugar for --set transactions=N",
     )
-    parser.add_argument("--quiet", action="store_true", help="no progress lines")
-    args = parser.parse_args(argv)
+    run_p.add_argument(
+        "--quiet", action="store_true", help="no progress lines"
+    )
+    run_p.set_defaults(func=_cmd_run)
 
-    transactions = args.transactions or scaled_transactions()
-    protocols = (
-        list(available_protocols()) if args.protocol == "all" else [args.protocol]
+    list_p = sub.add_parser("list", help="list the registered campaigns")
+    list_p.set_defaults(func=_cmd_list)
+
+    describe_p = sub.add_parser(
+        "describe",
+        help="show a campaign's axes and the cells it would run",
     )
-    grid = GRIDS[args.grid](transactions, protocols)
-    campaign = run_campaign(
-        grid,
-        workers=args.workers,
-        artifact_dir=args.artifact_dir,
-        campaign=args.grid,
-        progress=not args.quiet,
+    _add_spec_arguments(describe_p)
+    describe_p.set_defaults(func=_cmd_describe)
+
+    export_p = sub.add_parser(
+        "export",
+        help="write a campaign spec as JSON (re-runnable via run --spec)",
     )
-    _print_summary(campaign)
-    return 0 if campaign.ok else 1
+    _add_spec_arguments(export_p)
+    export_p.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    export_p.set_defaults(func=_cmd_export)
+    return parser
+
+
+def _translate_legacy(argv: List[str]) -> List[str]:
+    """Map the pre-subcommand flag CLI onto ``run`` (deprecated)."""
+    if not argv:
+        return ["run", "smoke"]  # the historical default grid
+    if argv[0] in _SUBCOMMANDS or not argv[0].startswith("-"):
+        return argv
+    if argv[0] in ("-h", "--help"):
+        return argv
+    grid = "smoke"
+    passthrough: List[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--grid" and i + 1 < len(argv):
+            grid = argv[i + 1]
+            i += 2
+        elif arg.startswith("--grid="):
+            grid = arg.split("=", 1)[1]
+            i += 1
+        else:
+            passthrough.append(arg)
+            i += 1
+    print(
+        "note: the '--grid NAME' flag form is deprecated; "
+        f"use 'python -m repro.runner run {grid}'",
+        file=sys.stderr,
+    )
+    return ["run", grid] + passthrough
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = _build_parser()
+    args = parser.parse_args(_translate_legacy(argv))
+    try:
+        return args.func(args)
+    except ValueError as exc:  # CampaignSpecError, unknown campaign, …
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

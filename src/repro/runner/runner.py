@@ -27,7 +27,6 @@ still completes.
 
 from __future__ import annotations
 
-import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -35,6 +34,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..core.env import env_int, env_str
 from ..core.experiment import Scenario, ScenarioConfig, ScenarioResult
 from .progress import CampaignProgress, ProgressEvent
 from .store import ArtifactStore
@@ -108,21 +108,21 @@ class CampaignResult:
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Explicit argument, else ``REPRO_WORKERS``, else 1."""
+    """Explicit argument, else ``REPRO_WORKERS``, else 1.
+
+    An unparseable or sub-1 ``REPRO_WORKERS`` warns once and falls back
+    (see :mod:`repro.core.env`)."""
     if workers is not None:
         return max(1, int(workers))
-    try:
-        return max(1, int(os.environ.get(WORKERS_ENV, "1")))
-    except ValueError:
-        return 1
+    return env_int(WORKERS_ENV, 1, minimum=1)
 
 
 def _resolve_store(
     artifact_dir: Optional[Union[str, Path]], campaign: Optional[str]
 ) -> Optional[ArtifactStore]:
     if artifact_dir is None:
-        env = os.environ.get(ARTIFACT_DIR_ENV)
-        if not env:
+        env = env_str(ARTIFACT_DIR_ENV)
+        if env is None:
             return None
         artifact_dir = Path(env) / campaign if campaign else Path(env)
     return ArtifactStore(artifact_dir)
@@ -150,6 +150,7 @@ def run_campaign(
     artifact_dir: Optional[Union[str, Path]] = None,
     campaign: Optional[str] = None,
     progress: Union[bool, Callable[[ProgressEvent], None]] = False,
+    manifest: Optional[Dict[str, object]] = None,
 ) -> CampaignResult:
     """Execute a labelled scenario grid, possibly in parallel.
 
@@ -159,7 +160,10 @@ def run_campaign(
     store: cells whose stored config matches are loaded, completed cells
     are saved as soon as they finish.  ``progress`` may be ``True`` for
     the default stderr printer or any callable taking a
-    :class:`ProgressEvent`.
+    :class:`ProgressEvent`.  ``manifest`` (typically
+    ``CampaignSpec.manifest()``) is recorded in the artifact store for
+    provenance: a ``campaign.json`` file plus a ``spec_hash`` field on
+    every cell artifact written during this run.
     """
     labelled = list(configs)
     seen: set = set()
@@ -170,6 +174,8 @@ def run_campaign(
 
     workers = resolve_workers(workers)
     store = _resolve_store(artifact_dir, campaign)
+    if store is not None and manifest is not None:
+        store.write_manifest(manifest)
     reporter = CampaignProgress(total=len(labelled), workers=workers)
     if progress is True:
         on_event: Optional[Callable[[ProgressEvent], None]] = reporter

@@ -6,6 +6,12 @@ full configuration encoding and the serialized
 :class:`~repro.core.experiment.ScenarioResult`; a cell is only reused
 when the stored configuration matches the requested one exactly, so
 editing a grid invalidates precisely the cells it changes.
+
+Campaigns driven by a :class:`~repro.campaigns.CampaignSpec`
+additionally record provenance: a ``<root>/campaign.json`` manifest
+holding the spec encoding and its content hash, and a ``spec_hash``
+field on every cell computed under that spec.  Provenance never
+affects resume-matching — only the stored config does.
 """
 
 from __future__ import annotations
@@ -19,7 +25,10 @@ from typing import Optional, Union
 
 from ..core.experiment import ScenarioConfig, ScenarioResult
 
-__all__ = ["ArtifactStore"]
+__all__ = ["ArtifactStore", "MANIFEST_NAME"]
+
+#: Campaign-level provenance file inside the store root.
+MANIFEST_NAME = "campaign.json"
 
 
 def _slug(label: str) -> str:
@@ -35,9 +44,32 @@ class ArtifactStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Content hash of the campaign spec being executed, if any;
+        #: stamped onto every artifact written while it is set.
+        self.spec_hash: Optional[str] = None
 
     def path_for(self, label: str) -> Path:
         return self.root / f"{_slug(label)}.json"
+
+    # -- provenance ----------------------------------------------------
+    def write_manifest(self, manifest: dict) -> Path:
+        """Record the campaign-level provenance (spec + hash) and start
+        stamping cell artifacts with the spec hash."""
+        self.spec_hash = manifest.get("spec_hash")
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, path)
+        return path
+
+    def load_manifest(self) -> Optional[dict]:
+        """The recorded campaign manifest, or None if absent/corrupt."""
+        path = self.root / MANIFEST_NAME
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
 
     # ------------------------------------------------------------------
     def load(self, label: str, config: ScenarioConfig) -> Optional[ScenarioResult]:
@@ -82,6 +114,8 @@ class ArtifactStore:
             "config": match_config.to_dict(),
             "result": result.to_dict(),
         }
+        if self.spec_hash is not None:
+            payload["spec_hash"] = self.spec_hash
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)

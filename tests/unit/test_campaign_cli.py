@@ -1,0 +1,168 @@
+"""Unit tests for the subcommand CLI (``python -m repro.runner``).
+
+``run`` invocations here are shrunk hard (--set clients=8,
+--transactions 60) so the real execution path — expansion, pool,
+artifact store, manifest provenance — stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns import CampaignSpec, get_campaign
+from repro.runner.__main__ import _translate_legacy, main
+
+
+class TestList:
+    def test_lists_every_registered_campaign(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "fig5", "fig7", "recovery", "safety"):
+            assert name in out
+
+
+class TestDescribe:
+    def test_shows_axes_and_cells(self, capsys):
+        assert main(["describe", "recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-recover" in out and "partition-heal" in out
+        assert "spec hash" in out
+        assert get_campaign("recovery").spec_hash() in out
+
+    def test_overrides_apply(self, capsys):
+        assert main(["describe", "fig7", "--set", "fault=random"]) == 0
+        out = capsys.readouterr().out
+        assert "cells (1):" in out
+        cells_section = out.split("cells (1):", 1)[1]
+        assert "random" in cells_section and "bursty" not in cells_section
+
+    def test_unknown_campaign_fails_cleanly(self, capsys):
+        assert main(["describe", "no-such"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign" in err and "smoke" in err
+
+
+class TestExport:
+    def test_round_trips_through_from_dict(self, capsys):
+        assert main(["export", "fig7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec_hash"] == get_campaign("fig7").spec_hash()
+        assert CampaignSpec.from_dict(payload) == get_campaign("fig7")
+
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        assert main(["export", "smoke", "-o", str(path)]) == 0
+        assert CampaignSpec.from_dict(json.loads(path.read_text())) == (
+            get_campaign("smoke")
+        )
+
+
+class TestRun:
+    TINY = ["--set", "clients=8", "--transactions", "60", "--quiet"]
+
+    def test_run_records_manifest_and_cell_hashes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main(
+            ["run", "fig7", "--set", "fault=none", "--artifact-dir", str(store)]
+            + self.TINY
+        )
+        assert code == 0
+        assert "none" in capsys.readouterr().out
+        manifest = json.loads((store / "campaign.json").read_text())
+        spec = (
+            get_campaign("fig7")
+            .with_axis("fault", ("none",))
+            .with_axis("clients", (8,))
+            .with_axis("transactions", (60,))
+        )
+        assert manifest["campaign"] == "fig7"
+        assert manifest["spec_hash"] == spec.spec_hash()
+        assert CampaignSpec.from_dict(manifest["spec"]) == spec
+        cells = [
+            json.loads(p.read_text())
+            for p in store.glob("*.json")
+            if p.name != "campaign.json"
+        ]
+        assert cells
+        assert all(c["spec_hash"] == spec.spec_hash() for c in cells)
+
+    def test_run_from_spec_file_resumes_same_artifacts(self, tmp_path, capsys):
+        """export -> run --spec is the file-driven path; an identical
+        effective spec loads every cell from the store."""
+        store = tmp_path / "store"
+        spec_file = tmp_path / "fig7.json"
+        args = ["--set", "fault=none", "--artifact-dir", str(store)] + self.TINY
+        assert main(["export", "fig7", "-o", str(spec_file)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(spec_file)] + args) == 0
+        first = capsys.readouterr().out
+        assert "in-process" in first or "worker" in first
+        assert main(["run", "--spec", str(spec_file)] + args) == 0
+        second = capsys.readouterr().out
+        assert "artifact" in second
+
+    def test_zero_transactions_errors_instead_of_silent_default(self, capsys):
+        """The falsy-zero regression: ``--transactions 0`` used to be
+        swallowed by ``args.transactions or scaled_transactions()``."""
+        code = main(["run", "fig7", "--transactions", "0", "--quiet"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_name_and_spec_are_mutually_exclusive(self, tmp_path, capsys):
+        spec_file = tmp_path / "s.json"
+        spec_file.write_text(json.dumps(get_campaign("fig7").to_dict()))
+        assert main(["run", "fig7", "--spec", str(spec_file), "--quiet"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_without_name_or_spec_fails_cleanly(self, capsys):
+        assert main(["run", "--quiet"]) == 2
+        assert "campaign name" in capsys.readouterr().err
+
+    def test_bad_set_fails_cleanly(self, capsys):
+        assert main(["run", "fig7", "--set", "clients", "--quiet"]) == 2
+        assert "axis=value" in capsys.readouterr().err
+
+
+class TestLegacyTranslation:
+    def test_flag_form_maps_to_run(self, capsys):
+        assert _translate_legacy(
+            ["--grid", "fig7", "--protocol", "all", "--workers", "2"]
+        ) == ["run", "fig7", "--protocol", "all", "--workers", "2"]
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_grid_equals_form(self):
+        assert _translate_legacy(["--grid=recovery", "--quiet"]) == [
+            "run",
+            "recovery",
+            "--quiet",
+        ]
+
+    def test_no_arguments_runs_the_smoke_default(self):
+        assert _translate_legacy([]) == ["run", "smoke"]
+
+    def test_subcommands_pass_through_untouched(self):
+        assert _translate_legacy(["list"]) == ["list"]
+        assert _translate_legacy(["run", "smoke"]) == ["run", "smoke"]
+
+    def test_legacy_run_end_to_end(self, capsys):
+        """The old CI incantation still works (translated to `run`)."""
+        code = main(
+            ["--grid", "fig7", "--set", "fault=none", "--set", "clients=8",
+             "--transactions", "60", "--quiet"]
+        )
+        assert code == 0
+        assert "none" in capsys.readouterr().out
+
+
+class TestProtocolSugar:
+    def test_protocol_all_widens_the_axis(self, capsys):
+        from repro.protocols import available_protocols
+
+        assert main(["describe", "fig7", "--protocol", "all"]) == 0
+        out = capsys.readouterr().out
+        for protocol in available_protocols():
+            assert f"{protocol} none" in out
+
+    def test_bad_protocol_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--protocol", "meteor"])

@@ -1,7 +1,8 @@
 """Docs-consistency check: README.md and ARCHITECTURE.md must keep up
-with the code.  Fails when a registered replication protocol, a fault
-action, or a ``REPRO_*`` environment knob is missing from the docs —
-the drift this PR-sized repo accumulates fastest.
+with the code.  Fails when a registered replication protocol, a
+registered campaign, a fault action, or a ``REPRO_*`` environment knob
+is missing from the docs — the drift this PR-sized repo accumulates
+fastest.
 """
 
 import re
@@ -9,6 +10,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.campaigns import available_campaigns
 from repro.core.faults import FAULT_ACTIONS
 from repro.protocols import available_protocols
 
@@ -47,6 +49,21 @@ class TestReadme:
     def test_architecture_doc_referenced(self):
         assert "ARCHITECTURE.md" in README
 
+    @pytest.mark.parametrize("campaign", available_campaigns())
+    def test_registered_campaigns_in_table(self, campaign):
+        """The README "Running campaigns" table must not drift from the
+        campaign registry."""
+        assert f"| `{campaign}` |" in README, (
+            f"campaign {campaign!r} is registered but missing from the "
+            "README campaign table"
+        )
+
+    def test_subcommand_cli_documented(self):
+        for subcommand in ("run", "list", "describe", "export"):
+            assert f"repro.runner {subcommand}" in README, (
+                f"CLI subcommand {subcommand!r} missing from README.md"
+            )
+
 
 class TestArchitecture:
     @pytest.mark.parametrize("protocol", available_protocols())
@@ -61,13 +78,22 @@ class TestArchitecture:
             f"fault action {action!r} missing from the ARCHITECTURE action table"
         )
 
+    @pytest.mark.parametrize("campaign", available_campaigns())
+    def test_registered_campaigns_in_table(self, campaign):
+        assert f"| `{campaign}` |" in ARCHITECTURE, (
+            f"campaign {campaign!r} missing from the ARCHITECTURE "
+            "campaign table"
+        )
+
     def test_lifecycle_walkthrough_present(self):
         for phase in ("crash", "partition", "heal", "state transfer", "live"):
             assert phase in ARCHITECTURE.lower()
 
     def test_every_package_in_layer_map(self):
         packages = sorted(
-            p.name for p in (REPO / "src" / "repro").iterdir() if p.is_dir()
+            p.name
+            for p in (REPO / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
         )
         for package in packages:
             assert f"{package}/" in ARCHITECTURE, (

@@ -95,17 +95,27 @@ class TestConfigThreading:
         assert scenario.sites[0].replica is None
 
 
+def _smoke_cells():
+    """The smoke campaign as CI runs it (``run smoke --protocol all``)."""
+    from repro.campaigns import get_campaign
+
+    return (
+        get_campaign("smoke")
+        .with_axis("protocol", available_protocols())
+        .with_axis("transactions", (120,))
+        .expand()
+    )
+
+
 class TestSmokeCoverage:
     def test_every_registered_protocol_has_a_smoke_cell(self):
-        """CI's smoke campaign runs ``--grid smoke --protocol all``; a
+        """CI's smoke campaign runs ``run smoke --protocol all``; a
         protocol registered without a smoke cell is a wiring bug.  The
-        grid enumerates the registry, so this guards against the grid
-        builder regressing to a hard-coded protocol list."""
-        from repro.runner.__main__ import _smoke_grid
-
-        grid = _smoke_grid(120, available_protocols())
+        campaign's protocol axis enumerates the registry via
+        ``--protocol all``, so this guards against the spec regressing
+        to a hard-coded protocol list."""
         covered = {
-            config.protocol for _, config in grid if config.sites > 1
+            config.protocol for _, config in _smoke_cells() if config.sites > 1
         }
         missing = set(available_protocols()) - covered
         assert not missing, f"protocols without a smoke cell: {missing}"
@@ -114,7 +124,7 @@ class TestSmokeCoverage:
         """…and this guards the other half of the chain: the CI smoke
         steps must actually ask for every protocol (``--protocol all``),
         or a newly registered protocol silently loses its pool-path
-        smoke coverage even though the grid builder could provide it."""
+        smoke coverage even though the campaign could provide it."""
         from pathlib import Path
 
         workflow = (
@@ -126,29 +136,26 @@ class TestSmokeCoverage:
         smoke_lines = [
             line
             for line in workflow.read_text().splitlines()
-            if "repro.runner" in line and "--grid smoke" in line
+            if "repro.runner" in line and ("run smoke" in line or "--spec" in line)
         ]
         assert smoke_lines, "CI no longer runs a smoke campaign"
         for line in smoke_lines:
             assert "--protocol all" in line, f"smoke step not 'all': {line}"
+        assert any("--spec" in line for line in smoke_lines), (
+            "CI no longer exercises the file-driven run --spec path"
+        )
 
     def test_smoke_labels_are_unique(self):
-        from repro.runner.__main__ import _smoke_grid
-
-        grid = _smoke_grid(120, available_protocols())
-        labels = [label for label, _ in grid]
+        labels = [label for label, _ in _smoke_cells()]
         assert len(labels) == len(set(labels))
 
     def test_smoke_grid_includes_a_recovery_cell_per_protocol(self):
         """The CI smoke campaign must exercise the crash→recover rejoin
         path for every registered protocol (state transfer is protocol
         code; a protocol without the hook would only fail here)."""
-        from repro.runner.__main__ import _smoke_grid
-
-        grid = _smoke_grid(120, available_protocols())
         recovering = {
             config.protocol
-            for _, config in grid
+            for _, config in _smoke_cells()
             if any(p.recover_at is not None for p in config.faults.values())
         }
         missing = set(available_protocols()) - recovering

@@ -71,9 +71,9 @@ class TestScale:
         assert scaled_transactions() >= 300
 
     def test_unparseable_scale_warns_once(self, monkeypatch):
-        from repro.core import scenarios as mod
+        from repro.core import env as mod
 
-        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setattr(mod, "_WARNED", set())
         monkeypatch.setenv("REPRO_SCALE", "O.5")  # the classic typo
         with pytest.warns(RuntimeWarning, match="not a number"):
             assert scale() == 0.3
@@ -84,17 +84,17 @@ class TestScale:
         assert captured == []
 
     def test_nan_scale_warns_and_falls_back(self, monkeypatch):
-        from repro.core import scenarios as mod
+        from repro.core import env as mod
 
-        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setattr(mod, "_WARNED", set())
         monkeypatch.setenv("REPRO_SCALE", "nan")
         with pytest.warns(RuntimeWarning, match="not a number"):
             assert scale() == 0.3
 
     def test_out_of_range_scale_warns_and_clamps(self, monkeypatch):
-        from repro.core import scenarios as mod
+        from repro.core import env as mod
 
-        monkeypatch.setattr(mod, "_SCALE_WARNED", set())
+        monkeypatch.setattr(mod, "_WARNED", set())
         monkeypatch.setenv("REPRO_SCALE", "2.5")
         with pytest.warns(RuntimeWarning, match="clamped to 1.0"):
             assert scale() == 1.0
