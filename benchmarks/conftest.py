@@ -29,6 +29,7 @@ from typing import Dict, Tuple
 
 import pytest
 
+from repro.analysis import ResultSet, format_table
 from repro.campaigns import get_campaign
 from repro.core.env import env_choice
 from repro.core.experiment import Scenario, ScenarioConfig, ScenarioResult
@@ -122,13 +123,34 @@ def performance_grid():
     return dict(_grid_cache)
 
 
+def grid_resultset(performance_grid) -> ResultSet:
+    """The Figure 5/6 grid as an axis-tagged ResultSet, in the canonical
+    SYSTEM_CONFIGS x CLIENT_LEVELS order (so figure tables keep the
+    historical row/column ordering whatever order the cells ran in)."""
+    return ResultSet.from_results(
+        (
+            f"{label} c{clients}",
+            performance_grid[(label, clients)],
+            {"system": label, "clients": clients},
+        )
+        for label, _, _ in SYSTEM_CONFIGS
+        for clients in CLIENT_LEVELS
+    )
+
+
+def figure_series(performance_grid, figure_key):
+    """Print one Figure 5/6 table and return its
+    ``{system label: [value per client level]}`` series — the shared
+    shape every fig5/fig6 assertion reads."""
+    from repro.analysis import figure_table, render_figure
+
+    table = figure_table(grid_resultset(performance_grid), figure_key)
+    print(render_figure(table, figure_key))
+    return table.columns()
+
+
 def print_table(title: str, headers, rows) -> None:
-    """Paper-style fixed-width table on stdout (shown with pytest -s)."""
-    print(f"\n=== {title} ===")
-    widths = [
-        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
-        for i, h in enumerate(headers)
-    ]
-    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    """Paper-style fixed-width table on stdout (shown with pytest -s);
+    rendered by :mod:`repro.analysis` so every table in the suite shares
+    one formatter."""
+    print(format_table(title, headers, rows))

@@ -7,38 +7,21 @@ limit throughput — each distributed system tracks the centralized system
 with the same number of CPUs; a single CPU saturates near 500 clients;
 3 sites scale to ~1500 clients and ~7000 tpm; 6 sites past 2000 clients
 and ~9000 tpm.
+
+Series derivation and printing go through :mod:`repro.analysis` (the
+``fig5a``/``fig5b``/``fig5c`` figure builders), so the printed tables
+are byte-identical to ``python -m repro.runner report --figure``.
 """
 
 import pytest
 
-from conftest import assert_paper_shapes, print_table, run_point
+from conftest import assert_paper_shapes, figure_series, run_point
 
 from repro.core.scenarios import CLIENT_LEVELS, SYSTEM_CONFIGS
 
 
-def _series(grid, metric):
-    table = {}
-    for label, _, _ in SYSTEM_CONFIGS:
-        table[label] = [metric(grid[(label, c)]) for c in CLIENT_LEVELS]
-    return table
-
-
-def _print_series(title, unit, series, fmt="{:.1f}"):
-    headers = ("clients",) + tuple(label for label, _, _ in SYSTEM_CONFIGS)
-    rows = []
-    for i, clients in enumerate(CLIENT_LEVELS):
-        rows.append(
-            (clients,)
-            + tuple(
-                fmt.format(series[label][i]) for label, _, _ in SYSTEM_CONFIGS
-            )
-        )
-    print_table(f"{title} ({unit})", headers, rows)
-
-
 def test_fig5a_throughput(benchmark, performance_grid):
-    series = _series(performance_grid, lambda r: r.throughput_tpm())
-    _print_series("Figure 5(a): throughput", "committed tpm", series)
+    series = figure_series(performance_grid, "fig5a")
     benchmark.pedantic(
         lambda: run_point("3 Sites", 3, 1, 500), rounds=1, iterations=1
     )
@@ -72,10 +55,7 @@ def test_fig5a_throughput(benchmark, performance_grid):
 
 
 def test_fig5b_latency(benchmark, performance_grid):
-    series = _series(
-        performance_grid, lambda r: r.mean_latency() * 1000.0
-    )
-    _print_series("Figure 5(b): mean latency", "ms", series)
+    series = figure_series(performance_grid, "fig5b")
     benchmark.pedantic(
         lambda: run_point("1 CPU", 1, 1, 500), rounds=1, iterations=1
     )
@@ -92,8 +72,7 @@ def test_fig5b_latency(benchmark, performance_grid):
 
 
 def test_fig5c_abort_rate(benchmark, performance_grid):
-    series = _series(performance_grid, lambda r: r.abort_rate())
-    _print_series("Figure 5(c): abort rate", "%", series, fmt="{:.2f}")
+    series = figure_series(performance_grid, "fig5c")
     benchmark.pedantic(
         lambda: run_point("3 CPU", 1, 3, 500), rounds=1, iterations=1
     )

@@ -7,73 +7,50 @@ saturation near 1500; 6 CPUs / 6 sites handle the full load.
 becomes the bottleneck, the direct consequence of read-one/write-all.
 (c) Network: bytes transmitted grow linearly with clients; 6 sites carry
 more group-maintenance traffic than 3 sites.
+
+Series derivation and printing go through :mod:`repro.analysis` (the
+``fig6a``/``fig6b``/``fig6c`` figure builders).
 """
 
 import pytest
 
-from conftest import assert_paper_shapes, print_table, run_point
+from conftest import (
+    assert_paper_shapes,
+    figure_series,
+    grid_resultset,
+    run_point,
+)
 
 from repro.core.scenarios import CLIENT_LEVELS, SYSTEM_CONFIGS
 
 
 def test_fig6a_cpu_usage(benchmark, performance_grid):
-    series = {}
-    for label, _, _ in SYSTEM_CONFIGS:
-        series[label] = [
-            performance_grid[(label, c)].cpu_usage() for c in CLIENT_LEVELS
-        ]
+    total = figure_series(performance_grid, "fig6a")
+    protocol = grid_resultset(performance_grid).pivot(
+        "clients", "system", "cpu_protocol"
+    ).columns()
     benchmark.pedantic(
         lambda: run_point("1 CPU", 1, 1, 100), rounds=1, iterations=1
-    )
-    rows = []
-    for i, clients in enumerate(CLIENT_LEVELS):
-        rows.append(
-            (clients,)
-            + tuple(
-                f"{series[label][i][0]*100:5.1f}"
-                for label, _, _ in SYSTEM_CONFIGS
-            )
-        )
-    print_table(
-        "Figure 6(a): CPU usage (%)",
-        ("clients",) + tuple(l for l, _, _ in SYSTEM_CONFIGS),
-        rows,
     )
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
     # one CPU approaches saturation by 500 clients
-    assert series["1 CPU"][1][0] > 0.80
+    assert total["1 CPU"][1] > 0.80
     # 3 CPUs reach a similar level only around 3x the load (1500)
-    assert series["3 CPU"][1][0] < 0.75
-    assert series["3 CPU"][3][0] > 0.75
+    assert total["3 CPU"][1] < 0.75
+    assert total["3 CPU"][3] > 0.75
     # replicated tracks centralized with the same CPU count (protocol
     # overhead is visible but small)
-    assert series["3 Sites"][2][0] == pytest.approx(
-        series["3 CPU"][2][0], abs=0.18
-    )
+    assert total["3 Sites"][2] == pytest.approx(total["3 CPU"][2], abs=0.18)
     # protocol (real-job) share exists only in replicated runs and is small
-    assert series["3 CPU"][2][1] == 0.0
-    assert 0.0 < series["3 Sites"][2][1] < 0.10
+    assert protocol["3 CPU"][2] == 0.0
+    assert 0.0 < protocol["3 Sites"][2] < 0.10
 
 
 def test_fig6b_disk_usage(benchmark, performance_grid):
-    series = {}
-    for label, _, _ in SYSTEM_CONFIGS:
-        series[label] = [
-            performance_grid[(label, c)].disk_usage() for c in CLIENT_LEVELS
-        ]
+    series = figure_series(performance_grid, "fig6b")
     benchmark.pedantic(
         lambda: run_point("6 CPU", 1, 6, 2000), rounds=1, iterations=1
-    )
-    rows = [
-        (clients,)
-        + tuple(f"{series[l][i]*100:5.1f}" for l, _, _ in SYSTEM_CONFIGS)
-        for i, clients in enumerate(CLIENT_LEVELS)
-    ]
-    print_table(
-        "Figure 6(b): disk bandwidth usage (%)",
-        ("clients",) + tuple(l for l, _, _ in SYSTEM_CONFIGS),
-        rows,
     )
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
@@ -90,27 +67,16 @@ def test_fig6b_disk_usage(benchmark, performance_grid):
 
 
 def test_fig6c_network(benchmark, performance_grid):
-    series = {}
-    for label in ("3 Sites", "6 Sites"):
-        series[label] = [
-            performance_grid[(label, c)].network_kbps() for c in CLIENT_LEVELS
-        ]
+    series = figure_series(performance_grid, "fig6c")
     benchmark.pedantic(
         lambda: run_point("3 Sites", 3, 1, 100), rounds=1, iterations=1
-    )
-    rows = [
-        (clients, f"{series['3 Sites'][i]:7.1f}", f"{series['6 Sites'][i]:7.1f}")
-        for i, clients in enumerate(CLIENT_LEVELS)
-    ]
-    print_table(
-        "Figure 6(c): network traffic (KB/s)",
-        ("clients", "3 Sites", "6 Sites"),
-        rows,
     )
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
     # centralized configurations produce no protocol traffic at all
-    assert performance_grid[("1 CPU", 500)].network_kbps() == 0.0
+    assert grid_resultset(performance_grid).value(
+        "1 CPU c500", "net_kbps"
+    ) == 0.0
     # traffic grows linearly-ish with clients/throughput
     three = series["3 Sites"]
     assert three[-1] > 2.5 * three[1] * (CLIENT_LEVELS[1] / CLIENT_LEVELS[-1]) * 2

@@ -8,23 +8,26 @@ of bursty loss — a long certification tail (the stability detector can
 only collect the contiguous common prefix, so independent loss at each
 site stalls garbage collection until the sequencer's buffer share
 blocks); protocol CPU rises ~1.5x from retransmission work.
-"""
 
-import statistics
+ECDF quantiles and the protocol-CPU table come from the
+:mod:`repro.analysis` ``fig7a``/``fig7b``/``fig7c`` figure builders.
+"""
 
 import pytest
 
-from conftest import assert_paper_shapes, bench_protocol, print_table
+from conftest import assert_paper_shapes, bench_protocol
 
+from repro.analysis import ResultSet, figure_table, render_figure
 from repro.core.experiment import Scenario
-from repro.core.metrics import quantiles
 from repro.core.scenarios import fault_config, scaled_transactions
+
+FAULT_KINDS = ("none", "random", "bursty")
 
 
 @pytest.fixture(scope="module")
 def fault_runs():
     runs = {}
-    for kind in ("none", "random", "bursty"):
+    for kind in FAULT_KINDS:
         config = fault_config(
             kind,
             clients=750,
@@ -40,41 +43,24 @@ def fault_runs():
     return runs
 
 
-PROBS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
-
-
-def _ecdf_rows(samples):
-    return {
-        kind: quantiles(values, PROBS) for kind, values in samples.items()
-    }
-
-
-def test_fig7a_latency_ecdf(benchmark, fault_runs):
-    samples = {
-        kind: run.metrics.latencies() for kind, run in fault_runs.items()
-    }
-    rows_by_kind = benchmark.pedantic(
-        _ecdf_rows, args=(samples,), rounds=1, iterations=1
+@pytest.fixture(scope="module")
+def fault_rs(fault_runs):
+    return ResultSet.from_results(
+        (kind, fault_runs[kind], {"fault": kind}) for kind in FAULT_KINDS
     )
-    rows = [
-        (f"p{int(p*100):02d}",)
-        + tuple(
-            f"{rows_by_kind[kind][i]*1000:8.1f}"
-            for kind in ("none", "random", "bursty")
-        )
-        for i, p in enumerate(PROBS)
-    ]
-    print_table(
-        "Figure 7(a): transaction latency ECDF quantiles (ms)",
-        ("quantile", "no faults", "random 5%", "bursty 5%"),
-        rows,
+
+
+def test_fig7a_latency_ecdf(benchmark, fault_rs):
+    table = benchmark.pedantic(
+        lambda: figure_table(fault_rs, "fig7a"), rounds=1, iterations=1
     )
+    print(render_figure(table, "fig7a"))
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
     # loss shifts the body of the distribution right: the median and
     # upper quartile under random loss clearly exceed the fault-free run
-    p50 = {k: rows_by_kind[k][2] for k in rows_by_kind}
-    p75 = {k: rows_by_kind[k][3] for k in rows_by_kind}
+    p50 = {kind: table.value("p50", kind) for kind in FAULT_KINDS}
+    p75 = {kind: table.value("p75", kind) for kind in FAULT_KINDS}
     assert p50["random"] > 1.15 * p50["none"]
     assert p75["random"] > 1.2 * p75["none"]
     # random loss dominates the same amount of bursty loss
@@ -83,31 +69,15 @@ def test_fig7a_latency_ecdf(benchmark, fault_runs):
     assert p50["random"] < 4.0 * p50["none"]
 
 
-def test_fig7b_certification_ecdf(benchmark, fault_runs):
-    samples = {
-        kind: run.metrics.certification_latencies()
-        for kind, run in fault_runs.items()
-    }
-    rows_by_kind = benchmark.pedantic(
-        _ecdf_rows, args=(samples,), rounds=1, iterations=1
+def test_fig7b_certification_ecdf(benchmark, fault_rs, fault_runs):
+    table = benchmark.pedantic(
+        lambda: figure_table(fault_rs, "fig7b"), rounds=1, iterations=1
     )
-    rows = [
-        (f"p{int(p*100):02d}",)
-        + tuple(
-            f"{rows_by_kind[kind][i]*1000:8.1f}"
-            for kind in ("none", "random", "bursty")
-        )
-        for i, p in enumerate(PROBS)
-    ]
-    print_table(
-        "Figure 7(b): certification latency ECDF quantiles (ms)",
-        ("quantile", "no faults", "random 5%", "bursty 5%"),
-        rows,
-    )
+    print(render_figure(table, "fig7b"))
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
-    median_none = rows_by_kind["none"][2]
-    p90_random = rows_by_kind["random"][-2]
+    median_none = table.value("p50", "none")
+    p90_random = table.value("p90", "random")
     # the tail under random loss reaches tens of the fault-free median —
     # the paper's plot spans two orders of magnitude
     assert p90_random > 10 * median_none
@@ -115,21 +85,25 @@ def test_fig7b_certification_ecdf(benchmark, fault_runs):
     # head-of-line blocking, §5.3): count certifications slower than 4x
     # the fault-free median
     threshold = 4 * median_none
+
     def delayed_fraction(kind):
-        values = samples[kind]
+        values = fault_runs[kind].metrics.certification_latencies()
         return sum(1 for v in values if v > threshold) / len(values)
+
     assert 0.15 < delayed_fraction("random") < 0.60
     # bursty loss delays visibly fewer messages than random loss
     assert delayed_fraction("bursty") < delayed_fraction("random")
 
 
-def test_fig7c_protocol_cpu(benchmark, fault_runs):
+def test_fig7c_protocol_cpu(benchmark, fault_rs):
+    table = benchmark.pedantic(
+        lambda: figure_table(fault_rs, "fig7c"), rounds=1, iterations=1
+    )
+    print(render_figure(table, "fig7c"))
     usage = {
-        kind: run.cpu_usage()[1] * 100.0 for kind, run in fault_runs.items()
+        kind: table.value(kind, "cpu_protocol") * 100.0
+        for kind in FAULT_KINDS
     }
-    benchmark.pedantic(lambda: dict(usage), rounds=1, iterations=1)
-    rows = [(kind, f"{value:5.2f}") for kind, value in usage.items()]
-    print_table("Figure 7(c): CPU usage by protocol jobs (%)", ("run", "usage"), rows)
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
     # retransmission work raises protocol CPU under loss (paper: 1.22 ->

@@ -7,83 +7,59 @@ only payment (and slightly delivery) is impacted by replication — it
 updates the small hot Warehouse table — while read-only classes show
 0.00 and neworder stays flat; payment-long sits a near-constant offset
 above payment-short.
+
+The per-class breakdown is the :mod:`repro.analysis` ``table1`` figure
+builder over the shared Figure 5 grid (the ``abort_rate[class]`` metric
+family), selecting the paper's matched-load columns.
 """
 
 import pytest
 
-from conftest import assert_paper_shapes, print_table, run_point
+from conftest import assert_paper_shapes, grid_resultset
 
-COLUMNS = (
-    ("500c x 1CPU", "1 CPU", 1, 1, 500),
-    ("1000c x 3CPU", "3 CPU", 1, 3, 1000),
-    ("1000c x 3Sites", "3 Sites", 3, 1, 1000),
-    ("1500c x 6CPU", "6 CPU", 1, 6, 1500),
-    ("1500c x 6Sites", "6 Sites", 6, 1, 1500),
-)
+from repro.analysis import TABLE1_COLUMNS, figure_table, render_figure
 
-ROWS = (
-    "delivery",
-    "neworder",
-    "payment-long",
-    "payment-short",
-    "orderstatus-long",
-    "orderstatus-short",
-    "stocklevel",
-    "All",
-)
+COLUMN_LABELS = tuple(column for column, _, _ in TABLE1_COLUMNS)
 
 
 @pytest.fixture(scope="module")
 def table(performance_grid):
-    del performance_grid  # ensures the shared grid is the one we reuse
-    data = {}
-    for column, label, sites, cpus, clients in COLUMNS:
-        result = run_point(label, sites, cpus, clients)
-        data[column] = result.metrics.abort_rate_table()
-    return data
+    # every matched-load cell is a Figure 5 grid point, so the table is
+    # a pure selection over the session's shared grid
+    return figure_table(grid_resultset(performance_grid), "table1")
 
 
 def test_table1_abort_rates(benchmark, table):
-    benchmark.pedantic(
-        lambda: {c: dict(v) for c, v in table.items()}, rounds=1, iterations=1
-    )
-    rows = []
-    for tx_class in ROWS:
-        rows.append(
-            (tx_class,)
-            + tuple(f"{table[c].get(tx_class, 0.0):6.2f}" for c, *_ in COLUMNS)
-        )
-    print_table(
-        "Table 1: abort rates (%)",
-        ("transaction",) + tuple(c for c, *_ in COLUMNS),
-        rows,
-    )
+    benchmark.pedantic(lambda: table.columns(), rounds=1, iterations=1)
+    print(render_figure(table, "table1"))
     if not assert_paper_shapes():
         return  # shapes below are calibrated against the paper's dbsm runs
 
     # read-only classes never abort for concurrency reasons
-    for column, *_ in COLUMNS:
-        assert table[column]["orderstatus-short"] == 0.0
-        assert table[column]["stocklevel"] == 0.0
+    for column in COLUMN_LABELS:
+        assert table.value("orderstatus-short", column) == 0.0
+        assert table.value("stocklevel", column) == 0.0
 
     # payment dominates every column (the Warehouse hotspot)
-    for column, *_ in COLUMNS:
-        payment = table[column]["payment-long"]
-        assert payment >= table[column]["neworder"]
-        assert payment >= table[column]["delivery"]
+    for column in COLUMN_LABELS:
+        payment = table.value("payment-long", column)
+        assert payment >= table.value("neworder", column)
+        assert payment >= table.value("delivery", column)
 
     # payment-long sits a consistent offset above payment-short
-    for column, *_ in COLUMNS:
-        spread = table[column]["payment-long"] - table[column]["payment-short"]
+    for column in COLUMN_LABELS:
+        spread = table.value("payment-long", column) - table.value(
+            "payment-short", column
+        )
         assert 2.0 < spread < 12.0, f"{column}: spread {spread:.2f}"
 
     # replication raises payment conflicts vs the same-CPU centralized
     # configuration (certification windows add to lock windows)
     assert (
-        table["1000c x 3Sites"]["payment-short"]
-        >= table["1000c x 3CPU"]["payment-short"] * 0.8
+        table.value("payment-short", "1000c x 3Sites")
+        >= table.value("payment-short", "1000c x 3CPU") * 0.8
     )
 
     # neworder stays in the low band (intrinsic 1% + rare stock clashes)
-    for column, *_ in COLUMNS:
-        assert table[column]["neworder"] < 5.0
+    for column in COLUMN_LABELS:
+        assert table.value("neworder", column) < 5.0

@@ -4,31 +4,24 @@ Random 5 % loss raises abort rates far more than bursty 5 % loss: the
 certification delays lengthen every conflict window.  delivery and
 payment — the contended classes — are hit hardest; read-only classes
 stay at 0.00.
+
+The per-class breakdown is the :mod:`repro.analysis` ``table2`` figure
+builder (the ``abort_rate[class]`` metric family over the fault axis).
 """
 
 import pytest
 
-from conftest import print_table
-
+from repro.analysis import ResultSet, figure_table, render_figure
 from repro.core.experiment import Scenario
 from repro.core.scenarios import fault_config, scaled_transactions
 
-ROWS = (
-    "delivery",
-    "neworder",
-    "payment-long",
-    "payment-short",
-    "orderstatus-long",
-    "orderstatus-short",
-    "stocklevel",
-    "All",
-)
+FAULT_KINDS = ("none", "random", "bursty")
 
 
 @pytest.fixture(scope="module")
-def fault_tables():
-    tables = {}
-    for kind in ("none", "random", "bursty"):
+def fault_table():
+    items = []
+    for kind in FAULT_KINDS:
         config = fault_config(
             kind,
             clients=1000,
@@ -40,43 +33,25 @@ def fault_tables():
         )
         result = Scenario(config).run()
         result.check_safety()
-        tables[kind] = result.metrics.abort_rate_table()
-    return tables
+        items.append((kind, result, {"fault": kind}))
+    return figure_table(ResultSet.from_results(items), "table2")
 
 
-def test_table2_abort_rates_with_faults(benchmark, fault_tables):
+def test_table2_abort_rates_with_faults(benchmark, fault_table):
     benchmark.pedantic(
-        lambda: {k: dict(v) for k, v in fault_tables.items()},
-        rounds=1,
-        iterations=1,
+        lambda: fault_table.columns(), rounds=1, iterations=1
     )
-    rows = [
-        (cls,)
-        + tuple(
-            f"{fault_tables[kind].get(cls, 0.0):6.2f}"
-            for kind in ("none", "random", "bursty")
-        )
-        for cls in ROWS
-    ]
-    print_table(
-        "Table 2: abort rates with 3 sites and 1000 clients (%)",
-        ("transaction", "no losses", "random 5%", "bursty 5%"),
-        rows,
-    )
+    print(render_figure(fault_table, "table2"))
 
-    none, random_, bursty = (
-        fault_tables["none"],
-        fault_tables["random"],
-        fault_tables["bursty"],
-    )
+    value = fault_table.value
     # loss raises the overall abort rate (certification delays lengthen
     # every conflict window)
-    assert random_["All"] > none["All"]
-    assert bursty["All"] >= none["All"] * 0.8
+    assert value("All", "random") > value("All", "none")
+    assert value("All", "bursty") >= value("All", "none") * 0.8
     # payment — the contended class — absorbs the damage
-    assert random_["payment-long"] > none["payment-long"]
-    assert random_["payment-short"] > none["payment-short"]
+    assert value("payment-long", "random") > value("payment-long", "none")
+    assert value("payment-short", "random") > value("payment-short", "none")
     # read-only classes stay clean no matter what
-    for table in (none, random_, bursty):
-        assert table["orderstatus-short"] == 0.0
-        assert table["stocklevel"] == 0.0
+    for kind in FAULT_KINDS:
+        assert value("orderstatus-short", kind) == 0.0
+        assert value("stocklevel", kind) == 0.0

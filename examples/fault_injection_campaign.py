@@ -8,17 +8,23 @@ member / of the sequencer) plus the recovery fault-loads
 sequencer) — and for each cell verifies the safety condition (all
 operational sites committed exactly the same transaction sequence, with
 rejoined replicas bit-identical to the survivors) and reports the
-performance impact and recovery metrics.
+performance impact and recovery metrics through :mod:`repro.analysis`
+(one metrics table over the ``fault`` axis; recovery numbers are the
+``time_to_rejoin`` / ``snapshot_bytes`` / ``backlog_replayed`` /
+``orphaned_commits`` registered metrics, NaN — rendered ``–`` — for
+cells without a completed rejoin).
 
 The whole matrix is one named campaign spec, so the identical run is
 also available as ``python -m repro.runner run safety --set
-transactions=600`` — and this script only *slices* the registered spec.
-Knobs (the same ones every entry point honours — see README "Fault
-model & recovery"): set ``REPRO_PROTOCOL=primary-copy`` to run the
-matrix under passive replication instead of the DBSM (the command-line
-equivalent is ``--protocol``), ``REPRO_WORKERS=N`` to spread cells
-across N worker processes, and ``REPRO_ARTIFACT_DIR`` to make the
-campaign resumable (a second invocation loads completed cells from
+transactions=600`` — and this script only *slices* the registered spec;
+with ``REPRO_ARTIFACT_DIR`` set, ``python -m repro.runner report
+faults`` re-renders the stored results any time.  Knobs (the same ones
+every entry point honours — see README "Fault model & recovery"): set
+``REPRO_PROTOCOL=primary-copy`` to run the matrix under passive
+replication instead of the DBSM (the command-line equivalent is
+``--protocol``), ``REPRO_WORKERS=N`` to spread cells across N worker
+processes, and ``REPRO_ARTIFACT_DIR`` to make the campaign resumable
+(a second invocation loads completed cells from
 ``$REPRO_ARTIFACT_DIR/faults/``, where the spec hash is also recorded
 for provenance).
 
@@ -26,10 +32,18 @@ Run:  python examples/fault_injection_campaign.py
 """
 
 from repro import get_campaign
+from repro.analysis import ResultSet, render_text
 from repro.core.env import env_choice
-from repro.core.metrics import quantiles
 from repro.protocols import available_protocols
 from repro.runner import resolve_workers, run_campaign
+
+IMPACT_METRICS = ("records", "throughput_tpm", "cert_p50_ms", "cert_p99_ms")
+RECOVERY_METRICS = (
+    "time_to_rejoin",
+    "snapshot_bytes",
+    "backlog_replayed",
+    "orphaned_commits",
+)
 
 
 def main() -> None:
@@ -49,29 +63,22 @@ def main() -> None:
         progress=workers > 1,
         manifest=spec.manifest(),
     )
-    print(f"protocol: {protocol}  (spec hash {spec.spec_hash()})\n")
-    print(f"{'fault':<26s} {'records':>8s} {'tpm':>8s} "
-          f"{'cert p50/p99 (ms)':>18s} {'commits/site':>22s}")
+    print(f"protocol: {protocol}  (spec hash {spec.spec_hash()})")
+    commit_counts = {}
     for name, result in campaign.pairs():
-        counts = result.check_safety()  # raises on divergence
-        certs = result.metrics.certification_latencies()
-        if certs:
-            p50, p99 = quantiles(certs, (0.5, 0.99))
-            cert_col = f"{p50*1000:7.1f} / {p99*1000:7.1f}"
-        else:
-            cert_col = "-"
+        commit_counts[name] = result.check_safety()  # raises on divergence
+    rs = ResultSet.from_campaign(campaign, spec=spec)
+    print(render_text(rs.table(IMPACT_METRICS), title="fault impact"))
+    print("\ncommits per operational site (identical sequences, §5.3):")
+    for name, counts in commit_counts.items():
         sites_col = " ".join(str(v) for v in counts.values())
-        print(f"{name:<26s} {len(result.metrics.records):8d} "
-              f"{result.throughput_tpm():8.1f} {cert_col:>18s} "
-              f"{sites_col:>22s}")
-    print("\nrecovery fault-loads (leave → state transfer → live):")
-    for name, result in campaign.pairs():
-        for event in result.completed_rejoins():
-            print(f"  {name:<26s} site{event.site} rejoined in "
-                  f"{event.time_to_rejoin():.2f}s  "
-                  f"snapshot {event.snapshot_bytes} B  "
-                  f"backlog {event.backlog_replayed}  "
-                  f"orphans {event.orphaned_commits}")
+        print(f"  {name:<30s} {sites_col}")
+    print(
+        render_text(
+            rs.table(RECOVERY_METRICS),
+            title="recovery fault-loads (leave → state transfer → live)",
+        )
+    )
     print("\nall campaigns passed the safety check: operational sites "
           "committed identical sequences; crashed sites hold a prefix; "
           "rejoined sites are bit-identical to the survivors")

@@ -5,7 +5,8 @@ Declares one campaign spec whose only sweep axis is the replication
 protocol — identical workload, seed, network and fault-free conditions;
 the protocol is the single variable — expands it, and prints the
 throughput / latency / abort-rate comparison the pluggable protocol
-layer exists for.
+layer exists for, derived and rendered through :mod:`repro.analysis`
+(one metrics table plus a baseline-vs-candidate delta table).
 
 Expected shape: at this load the deferred-update DBSM spreads update
 execution over all sites, while primary-copy funnels every update
@@ -16,17 +17,29 @@ at the primary rather than certification failures.
 Set ``REPRO_WORKERS=2`` to run the protocols in parallel worker
 processes (results are deterministic and identical either way).  The
 same comparison is one command away for any registered campaign:
-``python -m repro.runner run fig5 --protocol all``.
+``python -m repro.runner run fig5 --protocol all`` followed by
+``python -m repro.runner report <artifact-dir> --compare
+protocol=dbsm,primary-copy``.
 
 Run:  python examples/protocol_comparison.py
 """
 
 from repro import CampaignSpec, available_protocols
+from repro.analysis import ResultSet, render_comparison, render_text
 from repro.runner import resolve_workers, run_campaign
 
 SITES = 3
 CLIENTS = 500
 TRANSACTIONS = 1500
+
+METRICS = (
+    "throughput_tpm",
+    "mean_latency_ms",
+    "abort_rate",
+    "cpu_total",
+    "cpu_protocol",
+    "net_kbps",
+)
 
 SPEC = CampaignSpec(
     name="protocol-comparison",
@@ -49,23 +62,23 @@ def main() -> None:
     workers = resolve_workers()
     print(
         f"{SITES} sites, {CLIENTS} clients, {TRANSACTIONS} transactions "
-        f"per protocol, {workers} worker(s)\n"
+        f"per protocol, {workers} worker(s)"
     )
     campaign = run_campaign(SPEC.expand(), workers=workers, progress=workers > 1)
-    print(
-        f"{'protocol':<14s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
-        f"{'cpu':>6s} {'proto cpu':>9s} {'net KB/s':>9s}"
-    )
-    for protocol, result in campaign.pairs():
+    for _, result in campaign.pairs():
         result.check_safety()  # identical commit sequences at all sites
-        total_cpu, protocol_cpu = result.cpu_usage()
+    rs = ResultSet.from_campaign(campaign, spec=SPEC)
+    print(render_text(rs.table(METRICS), title="protocol comparison"))
+    protocols = rs.axis_values("protocol")
+    if len(protocols) > 1:
         print(
-            f"{protocol:<14s} {result.throughput_tpm():8.1f} "
-            f"{result.mean_latency() * 1000:7.1f}ms "
-            f"{result.abort_rate():6.2f}% "
-            f"{total_cpu * 100:5.1f}% "
-            f"{protocol_cpu * 100:8.2f}% "
-            f"{result.network_kbps():9.1f}"
+            render_comparison(
+                rs.compare(
+                    {"protocol": protocols[0]},
+                    {"protocol": protocols[1]},
+                    ("throughput_tpm", "mean_latency_ms", "abort_rate"),
+                )
+            )
         )
     print(
         "\nsame workload, same group-communication substrate — the "

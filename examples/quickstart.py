@@ -3,9 +3,10 @@
 
 Builds a 3-site Database State Machine cluster on a simulated 100 Mbit/s
 Ethernet, drives it with 150 TPC-C clients, and prints the numbers the
-paper reports: throughput, latency, per-class abort rates, resource
-usage — then verifies the safety condition (every replica committed the
-same sequence of transactions).
+paper reports — throughput, latency, per-class abort rates, resource
+usage — via the :mod:`repro.analysis` metric registry (every number a
+report derives has a registered name), then verifies the safety
+condition (every replica committed the same sequence of transactions).
 
 Next steps: pass ``protocol="primary-copy"`` to compare passive
 replication (see examples/protocol_comparison.py or
@@ -18,6 +19,18 @@ Run:  python examples/quickstart.py
 """
 
 from repro import Scenario, ScenarioConfig
+from repro.analysis import ResultSet, class_abort_table, get_metric, render_text
+
+HEADLINE = (
+    "sim_time",
+    "throughput_tpm",
+    "mean_latency_ms",
+    "abort_rate",
+    "cpu_total",
+    "cpu_protocol",
+    "disk",
+    "net_kbps",
+)
 
 
 def main() -> None:
@@ -28,23 +41,20 @@ def main() -> None:
         transactions=1500,  # stop after this many completions
         seed=2005,
     )
-    print(f"running {config.sites} sites / {config.clients} clients ...")
+    print(f"running {config.sites} sites / {config.clients} clients ...\n")
     result = Scenario(config).run()
 
-    print(f"\nsimulated time        {result.sim_time:8.1f} s")
-    print(f"throughput            {result.throughput_tpm():8.1f} committed tpm")
-    print(f"mean latency          {result.mean_latency()*1000:8.1f} ms")
-    print(f"abort rate            {result.abort_rate():8.2f} %")
+    for name in HEADLINE:
+        metric = get_metric(name)
+        print(f"{name:<16s} {metric.fmt.format(metric(result)):>10s} "
+              f"{metric.unit:<8s} {metric.description}")
 
-    total_cpu, protocol_cpu = result.cpu_usage()
-    print(f"CPU usage             {total_cpu*100:8.1f} % "
-          f"(protocol real jobs: {protocol_cpu*100:.2f} %)")
-    print(f"disk usage            {result.disk_usage()*100:8.1f} %")
-    print(f"network               {result.network_kbps():8.1f} KB/s")
-
-    print("\nabort rates by class (%):")
-    for tx_class, rate in sorted(result.metrics.abort_rate_table().items()):
-        print(f"  {tx_class:<20s} {rate:6.2f}")
+    rs = ResultSet.from_results([("quickstart", result, {})])
+    print(render_text(
+        class_abort_table(rs, "protocol"),
+        title="abort rates by class (%)",
+        col_names={"dbsm": "abort %"},
+    ))
 
     counts = result.check_safety()
     print(f"\nsafety check passed: every site committed the same sequence "

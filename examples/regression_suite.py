@@ -26,6 +26,7 @@ import tempfile
 from pathlib import Path
 
 from repro import CampaignSpec
+from repro.analysis import format_table
 from repro.core.regression import RegressionSuite
 from repro.runner import resolve_workers
 
@@ -47,11 +48,20 @@ def main() -> None:
 
         print("recording baselines ...")
         baselines = suite.record(path)
-        for name, baseline in sorted(baselines.items()):
-            metrics = ", ".join(
-                f"{k}={v:.4g}" for k, v in sorted(baseline.metrics.items())
-            )
-            print(f"  {name}: {metrics}")
+        metric_names = sorted(
+            next(iter(baselines.values())).metrics
+        )
+        print(format_table(
+            "recorded baselines",
+            ("scenario",) + tuple(metric_names),
+            [
+                (name,)
+                + tuple(
+                    f"{baseline.metrics[m]:.4g}" for m in metric_names
+                )
+                for name, baseline in sorted(baselines.items())
+            ],
+        ))
 
         print("\nre-checking the unchanged tree ...")
         findings = suite.check(path)

@@ -7,22 +7,32 @@ throughput of a centralized server with N CPUs — replication does not
 limit throughput, while adding the resilience of multiple sites.
 
 The three configurations are a campaign spec sweeping one ``system``
-axis of ``[label, sites, cpus_per_site]`` triples (the Figure 5 idiom):
-set ``REPRO_WORKERS=3`` to execute them in parallel worker processes
-(the printed metrics are identical either way — runs are
-deterministic).  The replicated cell uses the DBSM; widen with
-``SPEC.with_axis("protocol", available_protocols())`` — or compare via
-``python -m repro.runner run fig5 --protocol all`` — for the
-passive-replication curve.
+axis of ``[label, sites, cpus_per_site]`` triples (the Figure 5 idiom);
+the summary is a :mod:`repro.analysis` metrics table over the campaign
+(one registered metric per column).  Set ``REPRO_WORKERS=3`` to execute
+the cells in parallel worker processes — the printed metrics are
+identical either way, runs are deterministic.  The replicated cell uses
+the DBSM; widen with ``SPEC.with_axis("protocol",
+available_protocols())`` — or compare via ``python -m repro.runner run
+fig5 --protocol all`` — for the passive-replication curve.
 
 Run:  python examples/replication_scalability.py
 """
 
 from repro import CampaignSpec
+from repro.analysis import ResultSet, render_text
 from repro.runner import resolve_workers, run_campaign
 
 CLIENTS = 240
 TRANSACTIONS = 1200
+
+METRICS = (
+    "throughput_tpm",
+    "mean_latency_ms",
+    "abort_rate",
+    "cpu_total",
+    "net_kbps",
+)
 
 SPEC = CampaignSpec(
     name="replication-scalability",
@@ -51,21 +61,13 @@ SPEC = CampaignSpec(
 def main() -> None:
     workers = resolve_workers()
     print(f"{CLIENTS} clients, {TRANSACTIONS} transactions per run, "
-          f"{workers} worker(s)\n")
+          f"{workers} worker(s)")
     campaign = run_campaign(SPEC.expand(), workers=workers, progress=workers > 1)
-    print(f"{'configuration':<22s} {'tpm':>8s} {'latency':>9s} {'abort':>7s} "
-          f"{'cpu':>6s} {'net KB/s':>9s}")
-    for label, result in campaign.pairs():
+    for _, result in campaign.pairs():
         if result.config.sites > 1:
             result.check_safety()
-        total_cpu, _ = result.cpu_usage()
-        print(
-            f"{label:<22s} {result.throughput_tpm():8.1f} "
-            f"{result.mean_latency()*1000:7.1f}ms "
-            f"{result.abort_rate():6.2f}% "
-            f"{total_cpu*100:5.1f}% "
-            f"{result.network_kbps():9.1f}"
-        )
+    rs = ResultSet.from_campaign(campaign, spec=SPEC)
+    print(render_text(rs.table(METRICS), title="replication scalability"))
     print(
         "\nthe 3-site replicated system tracks the 3-CPU centralized one: "
         "certification adds latency, not a throughput ceiling (§5.1)"

@@ -5,11 +5,13 @@ Prints the CSRT-measured curves next to the real-system reference for
 the three §4.2 validation benchmarks: UDP flood write bandwidth,
 receiver bandwidth on Ethernet 100, and round-trip latency — including
 the two published divergences (4 KB page penalty; SSFNet's missing MTU
-enforcement).
+enforcement).  Tables render through the shared
+:mod:`repro.analysis` formatter.
 
 Run:  python examples/validation_curves.py
 """
 
+from repro.analysis import format_table
 from repro.core.validation import (
     csrt_recv_bandwidth_bps,
     csrt_round_trip,
@@ -23,24 +25,45 @@ SIZES = (64, 128, 256, 512, 1024, 2048, 4096)
 
 
 def main() -> None:
-    print("Figure 3(a) — bandwidth written (Mbit/s)")
-    print(f"{'size':>6s} {'real':>8s} {'csrt':>8s}")
-    for size in SIZES:
-        print(f"{size:6d} {real_send_bandwidth_bps(size)/1e6:8.1f} "
-              f"{csrt_send_bandwidth_bps(size, duration=0.05)/1e6:8.1f}")
+    print(format_table(
+        "Figure 3(a): bandwidth written (Mbit/s)",
+        ("size", "real", "csrt"),
+        [
+            (
+                size,
+                f"{real_send_bandwidth_bps(size) / 1e6:8.1f}",
+                f"{csrt_send_bandwidth_bps(size, duration=0.05) / 1e6:8.1f}",
+            )
+            for size in SIZES
+        ],
+    ))
 
-    print("\nFigure 3(b) — bandwidth on Ethernet 100 (Mbit/s)")
-    print(f"{'size':>6s} {'real':>8s} {'csrt':>8s}")
-    for size in SIZES:
-        print(f"{size:6d} {real_recv_bandwidth_bps(size)/1e6:8.1f} "
-              f"{csrt_recv_bandwidth_bps(size, duration=0.05)/1e6:8.1f}")
+    print(format_table(
+        "Figure 3(b): bandwidth on Ethernet 100 (Mbit/s)",
+        ("size", "real", "csrt"),
+        [
+            (
+                size,
+                f"{real_recv_bandwidth_bps(size) / 1e6:8.1f}",
+                f"{csrt_recv_bandwidth_bps(size, duration=0.05) / 1e6:8.1f}",
+            )
+            for size in SIZES
+        ],
+    ))
 
-    print("\nFigure 3(c) — round-trip (us); csrt* = MTU not enforced (SSFNet)")
-    print(f"{'size':>6s} {'real':>9s} {'csrt':>9s} {'csrt*':>9s}")
-    for size in SIZES:
-        print(f"{size:6d} {real_round_trip(size)*1e6:9.1f} "
-              f"{csrt_round_trip(size, rounds=15)*1e6:9.1f} "
-              f"{csrt_round_trip(size, rounds=15, enforce_mtu=False)*1e6:9.1f}")
+    print(format_table(
+        "Figure 3(c): round-trip (us); csrt* = MTU not enforced (SSFNet)",
+        ("size", "real", "csrt", "csrt*"),
+        [
+            (
+                size,
+                f"{real_round_trip(size) * 1e6:9.1f}",
+                f"{csrt_round_trip(size, rounds=15) * 1e6:9.1f}",
+                f"{csrt_round_trip(size, rounds=15, enforce_mtu=False) * 1e6:9.1f}",
+            )
+            for size in SIZES
+        ],
+    ))
     print("\nthe protocol restricts packets to a safe size below the MTU, "
           "avoiding the divergence region (§4.2)")
 

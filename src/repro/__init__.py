@@ -43,6 +43,12 @@ from .core import (
     random_loss,
     scheduling_latency,
 )
+from .analysis import (
+    AnalysisError,
+    ResultSet,
+    available_metrics,
+    metric_value,
+)
 from .campaigns import (
     CampaignSpec,
     available_campaigns,
@@ -79,6 +85,10 @@ __all__ = [
     "qq_points",
     "random_loss",
     "scheduling_latency",
+    "AnalysisError",
+    "ResultSet",
+    "available_metrics",
+    "metric_value",
     "CampaignSpec",
     "available_campaigns",
     "get_campaign",

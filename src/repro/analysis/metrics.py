@@ -1,0 +1,375 @@
+"""The named metric registry: ``name -> typed extractor``.
+
+Mirrors the replication-protocol and campaign registries: every number a
+report, benchmark, example or regression check derives from a
+:class:`~repro.core.experiment.ScenarioResult` is a registered
+:class:`Metric`, so CLIs and docs reference metrics by string and the
+derivation lives in exactly one place.
+
+Conventions:
+
+* Extractors return ``float``; an extractor whose underlying data is
+  absent (no transactions of the class, no resource samples, no
+  completed rejoin, ...) returns ``math.nan`` — *not* ``0.0`` — so
+  reports render a dash instead of a fake zero.
+* Names are flat strings (``throughput_tpm``); parameterized families
+  use ``base[arg]`` (``abort_rate[payment-long]``) and resolve through
+  :func:`get_metric` like any other name.
+* Each metric carries its unit and a default text format so renderers
+  never invent either.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.experiment import ScenarioResult
+from ..core.metrics import quantiles
+
+__all__ = [
+    "HEADLINE_METRICS",
+    "Metric",
+    "MetricError",
+    "available_metric_families",
+    "available_metrics",
+    "get_metric",
+    "metric_value",
+    "register_metric",
+    "register_metric_family",
+]
+
+
+class MetricError(ValueError):
+    """An unknown metric name or an invalid registration."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named, typed extractor over a ScenarioResult."""
+
+    name: str
+    unit: str
+    description: str
+    extract: Callable[[ScenarioResult], float]
+    fmt: str = "{:.1f}"
+
+    def __call__(self, result: ScenarioResult) -> float:
+        return float(self.extract(result))
+
+
+_REGISTRY: Dict[str, Metric] = {}
+#: Parameterized families: base name -> (unit, description, fmt, factory).
+_FAMILIES: Dict[str, Tuple[str, str, str, Callable[[str], Callable]]] = {}
+
+_FAMILY_NAME = re.compile(r"^(?P<base>[A-Za-z0-9_]+)\[(?P<arg>[^\]]+)\]$")
+
+
+def register_metric(metric: Metric, replace: bool = False) -> Metric:
+    """Register ``metric`` under ``metric.name``; duplicate names raise
+    unless ``replace``."""
+    if not isinstance(metric, Metric):
+        raise MetricError(f"expected a Metric, got {type(metric).__name__}")
+    if metric.name in _REGISTRY and not replace:
+        raise MetricError(f"metric {metric.name!r} is already registered")
+    _REGISTRY[metric.name] = metric
+    return metric
+
+
+def register_metric_family(
+    base: str,
+    unit: str,
+    description: str,
+    factory: Callable[[str], Callable[[ScenarioResult], float]],
+    fmt: str = "{:.2f}",
+    replace: bool = False,
+) -> None:
+    """Register a ``base[arg]`` family; ``factory(arg)`` builds the
+    extractor for one concrete argument."""
+    if base in _FAMILIES and not replace:
+        raise MetricError(f"metric family {base!r} is already registered")
+    _FAMILIES[base] = (unit, description, fmt, factory)
+
+
+def get_metric(name: str) -> Metric:
+    """Resolve ``name`` (plain or ``family[arg]``); MetricError names
+    the available options on a miss."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    match = _FAMILY_NAME.match(name)
+    if match and match.group("base") in _FAMILIES:
+        unit, description, fmt, factory = _FAMILIES[match.group("base")]
+        arg = match.group("arg")
+        return Metric(
+            name=name,
+            unit=unit,
+            description=f"{description} ({arg})",
+            extract=factory(arg),
+            fmt=fmt,
+        )
+    raise MetricError(
+        f"unknown metric {name!r} (available: "
+        f"{', '.join(available_metrics())}; families: "
+        f"{', '.join(f'{base}[...]' for base in sorted(_FAMILIES))})"
+    )
+
+
+def available_metrics() -> Tuple[str, ...]:
+    """Registered plain metric names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def available_metric_families() -> Tuple[str, ...]:
+    """Registered parameterized family base names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def metric_value(result: ScenarioResult, name: str) -> float:
+    """``get_metric(name)(result)`` — the one-call form."""
+    return get_metric(name)(result)
+
+
+# ----------------------------------------------------------------------
+# extractors
+# ----------------------------------------------------------------------
+def _latency_quantile_ms(p: float) -> Callable[[ScenarioResult], float]:
+    def extract(result: ScenarioResult) -> float:
+        return quantiles(result.metrics.latencies(), (p,))[0] * 1000.0
+
+    return extract
+
+
+def _cert_quantile_ms(p: float) -> Callable[[ScenarioResult], float]:
+    def extract(result: ScenarioResult) -> float:
+        certs = result.metrics.certification_latencies()
+        return quantiles(certs, (p,))[0] * 1000.0
+
+    return extract
+
+
+def _throughput(result: ScenarioResult) -> float:
+    if not result.metrics.records:
+        return math.nan
+    return result.metrics.throughput_tpm()
+
+
+def _mean_latency_ms(result: ScenarioResult) -> float:
+    values = result.metrics.latencies()
+    if not values:
+        return math.nan
+    return sum(values) / len(values) * 1000.0
+
+
+def _abort_rate(result: ScenarioResult) -> float:
+    if not result.metrics.records:
+        return math.nan
+    return result.metrics.abort_rate()
+
+
+def _abort_rate_for(tx_class: str) -> Callable[[ScenarioResult], float]:
+    def extract(result: ScenarioResult) -> float:
+        if tx_class == "All":
+            return _abort_rate(result)
+        if not result.metrics.select(tx_class=tx_class):
+            return math.nan
+        return result.metrics.abort_rate(tx_class)
+
+    return extract
+
+
+def _cert_mean_ms(result: ScenarioResult) -> float:
+    certs = result.metrics.certification_latencies()
+    if not certs:
+        return math.nan
+    return sum(certs) / len(certs) * 1000.0
+
+
+def _sampled(
+    f: Callable[[ScenarioResult], float]
+) -> Callable[[ScenarioResult], float]:
+    """NaN when the run produced no resource samples at all."""
+
+    def extract(result: ScenarioResult) -> float:
+        if not getattr(result.sampler, "samples", None):
+            return math.nan
+        return f(result)
+
+    return extract
+
+
+def _rejoins(
+    f: Callable[[Sequence], float]
+) -> Callable[[ScenarioResult], float]:
+    """NaN when the run completed no rejoin (nothing to measure)."""
+
+    def extract(result: ScenarioResult) -> float:
+        events = result.completed_rejoins()
+        if not events:
+            return math.nan
+        return float(f(events))
+
+    return extract
+
+
+#: The default report columns (the runner summary's headline numbers).
+HEADLINE_METRICS = (
+    "throughput_tpm",
+    "mean_latency_ms",
+    "abort_rate",
+    "cpu_total",
+    "net_kbps",
+)
+
+for _metric in (
+    Metric(
+        "throughput_tpm",
+        "tpm",
+        "committed transactions per minute",
+        _throughput,
+        "{:.1f}",
+    ),
+    Metric(
+        "mean_latency_ms",
+        "ms",
+        "mean committed-transaction latency",
+        _mean_latency_ms,
+        "{:.1f}",
+    ),
+    Metric(
+        "p50_latency_ms",
+        "ms",
+        "median committed-transaction latency",
+        _latency_quantile_ms(0.50),
+        "{:.1f}",
+    ),
+    Metric(
+        "p95_latency_ms",
+        "ms",
+        "95th-percentile committed-transaction latency",
+        _latency_quantile_ms(0.95),
+        "{:.1f}",
+    ),
+    Metric(
+        "p99_latency_ms",
+        "ms",
+        "99th-percentile committed-transaction latency",
+        _latency_quantile_ms(0.99),
+        "{:.1f}",
+    ),
+    Metric(
+        "abort_rate",
+        "%",
+        "aborted fraction of all transactions",
+        _abort_rate,
+        "{:.2f}",
+    ),
+    Metric(
+        "cert_latency_ms",
+        "ms",
+        "mean certification latency (replicated runs)",
+        _cert_mean_ms,
+        "{:.1f}",
+    ),
+    Metric(
+        "cert_p50_ms",
+        "ms",
+        "median certification latency",
+        _cert_quantile_ms(0.50),
+        "{:.1f}",
+    ),
+    Metric(
+        "cert_p99_ms",
+        "ms",
+        "99th-percentile certification latency",
+        _cert_quantile_ms(0.99),
+        "{:.1f}",
+    ),
+    Metric(
+        "cpu_total",
+        "0..1",
+        "steady-state CPU usage across sites",
+        _sampled(lambda r: r.cpu_usage()[0]),
+        "{:.3f}",
+    ),
+    Metric(
+        "cpu_protocol",
+        "0..1",
+        "steady-state CPU usage by real protocol jobs",
+        _sampled(lambda r: r.cpu_usage()[1]),
+        "{:.4f}",
+    ),
+    Metric(
+        "disk",
+        "0..1",
+        "steady-state storage utilization",
+        _sampled(lambda r: r.disk_usage()),
+        "{:.3f}",
+    ),
+    Metric(
+        "net_kbps",
+        "KB/s",
+        "steady-state fabric traffic",
+        _sampled(lambda r: r.network_kbps()),
+        "{:.1f}",
+    ),
+    Metric(
+        "net_msgs",
+        "packets",
+        "total fabric packets transferred",
+        lambda r: float(r.capture.total_packets),
+        "{:.0f}",
+    ),
+    Metric(
+        "time_to_rejoin",
+        "s",
+        "mean rejoin-start to live (completed rejoins)",
+        _rejoins(lambda es: sum(e.time_to_rejoin() for e in es) / len(es)),
+        "{:.2f}",
+    ),
+    Metric(
+        "backlog_replayed",
+        "msgs",
+        "ordered messages replayed at rejoin install",
+        _rejoins(lambda es: sum(e.backlog_replayed for e in es)),
+        "{:.0f}",
+    ),
+    Metric(
+        "snapshot_bytes",
+        "B",
+        "state-transfer snapshot volume",
+        _rejoins(lambda es: sum(e.snapshot_bytes for e in es)),
+        "{:.0f}",
+    ),
+    Metric(
+        "orphaned_commits",
+        "txs",
+        "previous-incarnation commits absent from the adopted snapshot",
+        _rejoins(lambda es: sum(e.orphaned_commits for e in es)),
+        "{:.0f}",
+    ),
+    Metric(
+        "records",
+        "txs",
+        "transactions completed (commit + abort)",
+        lambda r: float(len(r.metrics.records)),
+        "{:.0f}",
+    ),
+    Metric(
+        "sim_time",
+        "s",
+        "simulated seconds the run covered",
+        lambda r: float(r.sim_time),
+        "{:.1f}",
+    ),
+):
+    register_metric(_metric)
+
+register_metric_family(
+    "abort_rate",
+    "%",
+    "aborted fraction of one transaction class",
+    _abort_rate_for,
+    fmt="{:.2f}",
+)

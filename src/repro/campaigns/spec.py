@@ -182,10 +182,22 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     def expand(self) -> List[Tuple[str, ScenarioConfig]]:
         """The grid: ``[(label, ScenarioConfig)]``, deterministic order."""
+        return [(label, config) for label, config, _ in self.expand_cells()]
+
+    def expand_cells(self) -> List[Tuple[str, ScenarioConfig, Dict[str, object]]]:
+        """The grid with per-cell axis provenance.
+
+        Like :meth:`expand`, but each cell additionally carries the
+        display-ready parameter bindings that produced it — every swept
+        axis value plus the template bindings, with ``system`` triples
+        reduced to their display label and ``None`` values (the
+        "resolve at expansion time" markers) omitted.  This is how the
+        analysis layer (:mod:`repro.analysis`) recovers campaign-axis
+        tags for cells loaded back from an artifact store."""
         cells = list(self._expand({}, {}))
         seen: set = set()
         duplicates = []
-        for label, _ in cells:
+        for label, _, _ in cells:
             if label in seen:
                 duplicates.append(label)
             seen.add(label)
@@ -204,7 +216,7 @@ class CampaignSpec:
         self,
         bindings: Dict[str, object],
         axis_values: Dict[str, Tuple[object, ...]],
-    ) -> Iterator[Tuple[str, ScenarioConfig]]:
+    ) -> Iterator[Tuple[str, ScenarioConfig, Dict[str, object]]]:
         bindings = {**bindings, **self.template}
 
         def sweep(depth, bindings, axis_values):
@@ -229,8 +241,13 @@ class CampaignSpec:
         self,
         bindings: Dict[str, object],
         axis_values: Dict[str, Tuple[object, ...]],
-    ) -> Tuple[str, ScenarioConfig]:
+    ) -> Tuple[str, ScenarioConfig, Dict[str, object]]:
         label = self._format_label(bindings, axis_values)
+        axes = {
+            name: _display_value(name, value)
+            for name, value in bindings.items()
+            if value is not None and name != "seed_per_clients"
+        }
         params = dict(bindings)
         if "system" in params:
             system = params.pop("system")
@@ -247,7 +264,7 @@ class CampaignSpec:
             raise CampaignSpecError(
                 f"campaign {self.name!r}, cell {label!r}: {exc}"
             ) from exc
-        return label, config
+        return label, config, axes
 
     def _format_label(
         self,

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+import math
+
 from .experiment import Scenario, ScenarioConfig, ScenarioResult
-from .metrics import quantiles
 from .safety import SafetyViolation
 
 __all__ = ["RegressionSuite", "Regression", "ScenarioBaseline"]
@@ -37,6 +38,17 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "abort_rate": 0.25,
     "cert_p99": 0.35,
     "protocol_cpu": 0.30,
+}
+#: Baseline key -> (registered metric name, unit conversion into the
+#: historical baseline-file unit).  Extraction goes through the
+#: :mod:`repro.analysis` metric registry; the keys (and units: seconds,
+#: fractions) are unchanged so recorded baseline files stay comparable.
+_BASELINE_SOURCES: Dict[str, Tuple[str, float]] = {
+    "throughput_tpm": ("throughput_tpm", 1.0),
+    "mean_latency": ("mean_latency_ms", 1e-3),
+    "abort_rate": ("abort_rate", 1.0),
+    "cert_p99": ("cert_p99_ms", 1e-3),
+    "protocol_cpu": ("cpu_protocol", 1.0),
 }
 #: Metrics where only growth (resp. shrinkage) is a regression.
 _HIGHER_IS_BETTER = {"throughput_tpm"}
@@ -126,15 +138,19 @@ class RegressionSuite:
     # ------------------------------------------------------------------
     @staticmethod
     def baseline_from(name: str, result: ScenarioResult) -> ScenarioBaseline:
-        """Extract the recorded metric set from a finished run."""
-        metrics = {
-            "throughput_tpm": result.throughput_tpm(),
-            "mean_latency": result.mean_latency(),
-            "abort_rate": result.abort_rate(),
-            "protocol_cpu": result.cpu_usage()[1],
-        }
-        certs = result.metrics.certification_latencies()
-        metrics["cert_p99"] = quantiles(certs, (0.99,))[0] if certs else 0.0
+        """Extract the recorded metric set from a finished run.
+
+        Values come from the :mod:`repro.analysis` metric registry (the
+        one derivation every consumer shares); NaN — the registry's
+        "no data" marker, e.g. no certifications in a centralized run —
+        is stored as the historical ``0.0`` so baseline files stay
+        valid JSON and keep comparing exactly as before."""
+        from ..analysis.metrics import metric_value  # analysis sits above core
+
+        metrics = {}
+        for key, (metric, factor) in _BASELINE_SOURCES.items():
+            value = metric_value(result, metric) * factor
+            metrics[key] = 0.0 if math.isnan(value) else value
         return ScenarioBaseline(
             name=name,
             metrics=metrics,

@@ -25,6 +25,13 @@ parallel runner with a paper-style summary table.  Subcommands::
     python -m repro.runner export recovery -o recovery.json
     python -m repro.runner run --spec recovery.json --protocol all
 
+    # analyze stored artifacts: summary, paper figures, grouping,
+    # pivoting and protocol comparisons (see repro.analysis)
+    python -m repro.runner report results/fig5 --figure fig5a
+    python -m repro.runner report results/fig5 --metric throughput_tpm --by clients
+    python -m repro.runner report results/smoke --compare protocol=dbsm,primary-copy
+    python -m repro.runner report results/smoke --format json
+
 The legacy ``--grid NAME`` flag form is still accepted and translated
 to ``run NAME`` with a deprecation note.
 """
@@ -37,6 +44,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..analysis import FIGURES, summary_text
 from ..campaigns import (
     CampaignSpec,
     CampaignSpecError,
@@ -60,46 +68,13 @@ axis overrides compose left to right: --set protocol=dbsm,primary-copy
 --transactions are sugar for the matching --set.
 """
 
-_SUBCOMMANDS = ("run", "list", "describe", "export")
+_SUBCOMMANDS = ("run", "list", "describe", "export", "report")
 
 
 def _print_summary(campaign: CampaignResult) -> None:
-    print(
-        f"\n{'cell':<28s} {'status':<8s} {'tpm':>8s} {'latency':>9s} "
-        f"{'abort':>7s} {'cpu':>6s} {'net KB/s':>9s} {'src':>10s}"
-    )
-    for cell in campaign.cells:
-        if cell.status != "ok":
-            print(f"{cell.label:<28s} {'FAILED':<8s}  (see traceback below)")
-            continue
-        result = cell.result
-        total_cpu, _ = result.cpu_usage()
-        print(
-            f"{cell.label:<28s} {'ok':<8s} {result.throughput_tpm():8.1f} "
-            f"{result.mean_latency() * 1000:7.1f}ms "
-            f"{result.abort_rate():6.2f}% "
-            f"{total_cpu * 100:5.1f}% "
-            f"{result.network_kbps():9.1f} {cell.source:>10s}"
-        )
-    recovered = [
-        (cell.label, event)
-        for cell in campaign.cells
-        if cell.status == "ok"
-        for event in cell.result.completed_rejoins()
-    ]
-    if recovered:
-        print(
-            f"\n{'recovery':<28s} {'site':>5s} {'rejoin':>8s} "
-            f"{'backlog':>8s} {'snapshot':>9s} {'orphans':>8s}"
-        )
-        for label, event in recovered:
-            print(
-                f"{label:<28s} {event.site:>5d} "
-                f"{event.time_to_rejoin():7.2f}s "
-                f"{event.backlog_replayed:8d} "
-                f"{event.snapshot_bytes:8d}B "
-                f"{event.orphaned_commits:8d}"
-            )
+    """The per-cell summary table (rendered by :mod:`repro.analysis`,
+    byte-identical to the historical formatter) plus failure dumps."""
+    print(summary_text(campaign.cells))
     for cell in campaign.failures:
         print(f"\n--- {cell.label} ---\n{cell.error}", file=sys.stderr)
 
@@ -207,6 +182,23 @@ def _describe_value(name: str, value: object) -> str:
     if name == "system" and isinstance(value, (tuple, list)):
         return f"{value[0]} ({value[1]}x{value[2]}cpu)"
     return str(value)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis.report import run_report  # heavy path, load on use
+
+    print(
+        run_report(
+            args.target,
+            metrics=args.metric,
+            by=args.by,
+            pivot=args.pivot,
+            compare=args.compare,
+            figure=args.figure,
+            fmt=args.format,
+        )
+    )
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -318,6 +310,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write to FILE instead of stdout",
     )
     export_p.set_defaults(func=_cmd_export)
+
+    report_p = sub.add_parser(
+        "report",
+        help="analyze a campaign's stored artifacts (see repro.analysis)",
+    )
+    report_p.add_argument(
+        "target",
+        help="artifact directory, or a campaign name resolved under "
+        "REPRO_ARTIFACT_DIR",
+    )
+    report_p.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registered metric name (repeatable; families like "
+        "'abort_rate[payment-long]' work too); default: the headline set",
+    )
+    report_p.add_argument(
+        "--by",
+        default=None,
+        metavar="AXIS",
+        help="aggregate the metrics along one campaign axis "
+        "(mean, with 95%% CI over seed replicates)",
+    )
+    report_p.add_argument(
+        "--pivot",
+        default=None,
+        metavar="ROW,COL",
+        help="pivot one --metric over two campaign axes",
+    )
+    report_p.add_argument(
+        "--compare",
+        default=None,
+        metavar="AXIS=BASE,CAND",
+        help="delta table between two slices, paired on the other axes "
+        "(e.g. protocol=dbsm,primary-copy)",
+    )
+    report_p.add_argument(
+        "--figure",
+        choices=sorted(FIGURES),
+        default=None,
+        help="render one paper figure/table from the artifacts",
+    )
+    report_p.add_argument(
+        "--format",
+        choices=("text", "markdown", "csv", "json"),
+        default="text",
+        help="output encoding (default: text)",
+    )
+    report_p.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -123,6 +123,126 @@ class TestRun:
         assert "axis=value" in capsys.readouterr().err
 
 
+class TestReport:
+    """The artifact -> report path (see also tests/unit/test_analysis.py)."""
+
+    TINY = ["--set", "clients=8", "--transactions", "60", "--quiet"]
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        store = tmp_path_factory.mktemp("report-cli") / "store"
+        args = ["run", "fig7", "--artifact-dir", str(store)] + self.TINY
+        assert main(args) == 0
+        return store
+
+    def test_summary_bit_identical_to_resumed_run(self, store, capsys):
+        """Acceptance: `report` reproduces the runner summary table
+        bit-identically from the same artifact dir (a resumed --quiet
+        run prints exactly the summary, every cell src=artifact)."""
+        args = ["run", "fig7", "--artifact-dir", str(store)] + self.TINY
+        assert main(args) == 0
+        resumed = capsys.readouterr().out
+        assert "artifact" in resumed
+        assert main(["report", str(store)]) == 0
+        assert capsys.readouterr().out == resumed
+
+    def test_figure_fig5a_matches_legacy_series_format(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: --figure fig5a reproduces the pre-PR
+        _series/_print_series output from the same artifact dir."""
+        store = tmp_path / "fig5-store"
+        spec = CampaignSpec(
+            name="fig5-slice",
+            description="two systems x two client levels",
+            kind="performance",
+            label="{system} c{clients}",
+            axes=[
+                ("system", (("1 CPU", 1, 1), ("3 Sites", 3, 1))),
+                ("clients", (8, 12)),
+            ],
+            template={"transactions": 60, "seed": 3},
+        )
+        spec_file = tmp_path / "fig5-slice.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        assert main(
+            ["run", "--spec", str(spec_file),
+             "--artifact-dir", str(store), "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(store), "--figure", "fig5a"]) == 0
+        out = capsys.readouterr().out
+
+        # the legacy formatter, verbatim from the pre-PR benchmark helpers
+        from repro.analysis import ResultSet
+
+        rs = ResultSet.from_artifacts(store)
+        systems, clients_levels = ("1 CPU", "3 Sites"), (8, 12)
+        series = {
+            system: [
+                rs.select(system=system, clients=c).cells[0].result.throughput_tpm()
+                for c in clients_levels
+            ]
+            for system in systems
+        }
+        headers = ("clients",) + systems
+        rows = [
+            (c,) + tuple("{:.1f}".format(series[s][i]) for s in systems)
+            for i, c in enumerate(clients_levels)
+        ]
+        widths = [
+            max(len(str(h)), max(len(str(r[i])) for r in rows))
+            for i, h in enumerate(headers)
+        ]
+        legacy = ["", "=== Figure 5(a): throughput (committed tpm) ==="]
+        legacy.append(
+            "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+        )
+        for row in rows:
+            legacy.append(
+                "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+            )
+        assert out == "\n".join(legacy) + "\n"
+
+    def test_json_payload_schema(self, store, capsys):
+        assert main(["report", str(store), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "fig7"
+        assert payload["spec_hash"]
+        assert payload["missing"] == []
+        assert len(payload["cells"]) == 3  # none / random / bursty
+        for cell in payload["cells"]:
+            assert set(cell["metrics"]) == set(payload["metrics"])
+            assert cell["axes"]["fault"] in cell["label"]
+            assert cell["axes"]["clients"] == 8
+
+    def test_compare_and_by_views(self, store, capsys):
+        assert main(
+            ["report", str(store), "--metric", "throughput_tpm",
+             "--by", "fault"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault" in out and "throughput_tpm" in out
+        assert main(
+            ["report", str(store), "--metric", "abort_rate",
+             "--compare", "fault=none,random"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "abort_rate base" in out
+
+    def test_unknown_target_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+        assert main(["report", "no-such-place"]) == 2
+        assert "cannot locate" in capsys.readouterr().err
+
+    def test_campaign_name_resolves_under_artifact_dir(
+        self, store, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(store.parent))
+        assert main(["report", store.name, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["campaign"] == "fig7"
+
+
 class TestLegacyTranslation:
     def test_flag_form_maps_to_run(self, capsys):
         assert _translate_legacy(

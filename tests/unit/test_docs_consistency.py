@@ -1,8 +1,8 @@
 """Docs-consistency check: README.md and ARCHITECTURE.md must keep up
 with the code.  Fails when a registered replication protocol, a
-registered campaign, a fault action, or a ``REPRO_*`` environment knob
-is missing from the docs — the drift this PR-sized repo accumulates
-fastest.
+registered campaign, a registered metric, a fault action, or a
+``REPRO_*`` environment knob is missing from the docs — the drift this
+PR-sized repo accumulates fastest.
 """
 
 import re
@@ -10,9 +10,16 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import available_metric_families, available_metrics
 from repro.campaigns import available_campaigns
 from repro.core.faults import FAULT_ACTIONS
 from repro.protocols import available_protocols
+
+#: Every documented metric name: plain metrics plus the ``base[class]``
+#: spelling the parameterized families are documented under.
+DOCUMENTED_METRICS = available_metrics() + tuple(
+    f"{base}[class]" for base in available_metric_families()
+)
 
 REPO = Path(__file__).resolve().parent.parent.parent
 README = (REPO / "README.md").read_text(encoding="utf-8")
@@ -59,10 +66,19 @@ class TestReadme:
         )
 
     def test_subcommand_cli_documented(self):
-        for subcommand in ("run", "list", "describe", "export"):
+        for subcommand in ("run", "list", "describe", "export", "report"):
             assert f"repro.runner {subcommand}" in README, (
                 f"CLI subcommand {subcommand!r} missing from README.md"
             )
+
+    @pytest.mark.parametrize("metric", DOCUMENTED_METRICS)
+    def test_registered_metrics_in_table(self, metric):
+        """The README "Analyzing results" metric table must not drift
+        from the metric registry."""
+        assert f"| `{metric}` |" in README, (
+            f"metric {metric!r} is registered but missing from the "
+            "README metric table"
+        )
 
 
 class TestArchitecture:
@@ -83,6 +99,12 @@ class TestArchitecture:
         assert f"| `{campaign}` |" in ARCHITECTURE, (
             f"campaign {campaign!r} missing from the ARCHITECTURE "
             "campaign table"
+        )
+
+    @pytest.mark.parametrize("metric", DOCUMENTED_METRICS)
+    def test_registered_metrics_in_table(self, metric):
+        assert f"| `{metric}` |" in ARCHITECTURE, (
+            f"metric {metric!r} missing from the ARCHITECTURE metric table"
         )
 
     def test_lifecycle_walkthrough_present(self):
