@@ -1,0 +1,46 @@
+"""Perf-harness smoke bench: one tiny measured campaign end to end.
+
+Runs the harness over the pinned ``smoke`` campaign at a small
+transaction count and validates the emitted payload against the
+``repro.bench/1`` schema.  Timings are informational — this bench
+asserts the *machinery* (measurement, schema, guard), never a speed,
+so it cannot flake on a slow host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import run_perf, validate_bench
+
+
+@pytest.fixture(scope="module")
+def smoke_bench():
+    payload, path = run_perf(
+        campaigns=("smoke",), transactions=120, output="", bench_id=7
+    )
+    assert path is None  # output="" skips writing
+    return payload
+
+
+def test_smoke_bench_validates(smoke_bench):
+    assert validate_bench(smoke_bench) is smoke_bench
+
+
+def test_smoke_bench_measures_every_cell(smoke_bench):
+    entry = smoke_bench["campaigns"]["smoke"]
+    assert entry["cells"] == len(entry["cell_walls"])
+    assert entry["transactions_total"] >= 120 * entry["cells"]
+    assert entry["events_total"] > 0
+    assert entry["cells_per_sec"] > 0
+    assert entry["peak_rss_kb"] > 0
+
+
+def test_smoke_bench_prints_rates(smoke_bench, capsys):
+    entry = smoke_bench["campaigns"]["smoke"]
+    print(
+        f"perf smoke: {entry['cells_per_sec']:.2f} cells/s, "
+        f"{entry['tx_per_sec']:.0f} tx/s, "
+        f"{entry['events_per_sec']:.0f} events/s"
+    )
+    assert "cells/s" in capsys.readouterr().out

@@ -15,6 +15,7 @@ Figures 6(a) and 7(c).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable, Deque, List, Optional
 
 from .kernel import Entity, Event, Simulator
@@ -150,19 +151,28 @@ class SimulatedCpu(Entity):
         else:
             return
         self._current = job
-        self._current_started = self.now
+        self._current_started = self.sim._now
         if job.kind == REAL_JOB:
             assert job.execute is not None
             duration = job.execute()
             if duration < 0:
                 raise ValueError("measured duration must be non-negative")
+            # Real jobs are never preempted (only modeled work is), so
+            # their completion needs no cancellable handle.  Inlined
+            # fire-and-forget schedule (see Simulator.call): job
+            # completions are the single largest event population.
+            sim = self.sim
+            sim._seq += 1
+            _heappush(
+                sim._queue, (sim._now + duration, sim._seq, self._complete, (job,))
+            )
         else:
             duration = job.duration / self.speed_scale
-        self._end_event = self.schedule(duration, self._complete, job)
+            self._end_event = self.schedule(duration, self._complete, job)
 
     def _complete(self, job: Job) -> None:
         assert self._current is job
-        self.busy_time[job.kind] += self.now - self._current_started
+        self.busy_time[job.kind] += self.sim._now - self._current_started
         self.jobs_completed[job.kind] += 1
         self._current = None
         self._end_event = None
@@ -205,6 +215,11 @@ class CpuPool(Entity):
 
     def _choose(self, job: Job) -> SimulatedCpu:
         n = len(self.cpus)
+        if n == 1:
+            # Single-CPU pool (the common configuration): every branch
+            # below resolves to that CPU with ``_rr`` left at 0, so the
+            # scans are pure overhead on the per-job hot path.
+            return self.cpus[0]
         # First choice: an idle CPU, scanning from the rotation point.
         for offset in range(n):
             cpu = self.cpus[(self._rr + offset) % n]

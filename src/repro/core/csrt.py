@@ -109,6 +109,11 @@ class SiteRuntime(Entity):
         #: Handler installed by protocol code for incoming datagrams.
         self.receiver: Optional[Callable[[Any, bytes], None]] = None
         self._active_timer: Optional[ProfilingTimer] = None
+        #: One reusable cost-model timer: jobs never nest (``execute``
+        #: runs each real job to completion on the single-threaded
+        #: kernel), and ``start()`` resets the accumulator, so allocating
+        #: a fresh timer per job is pure garbage-collector churn.
+        self._model_timer = CostModelTimer()
         #: Counters surfaced in experiment reports.
         self.stats = {
             "real_jobs": 0,
@@ -124,7 +129,7 @@ class SiteRuntime(Entity):
     def _new_timer(self) -> ProfilingTimer:
         if self.mode == MEASURED:
             return WallClockTimer(scale=self.cpu_scale)
-        return CostModelTimer()
+        return self._model_timer
 
     def submit_real(
         self,
@@ -148,24 +153,30 @@ class SiteRuntime(Entity):
         if delay <= 0:
             self.cpus.submit(job)
         else:
-            self.schedule(delay, self.cpus.submit, job)
+            self.call(delay, self.cpus.submit, job)
 
     def _make_executor(self, fn: Callable[[], None], tag: str, nbytes: int):
+        # The entry cost is a pure function of (tag, nbytes) — price it
+        # when the job is created, not when it runs: one lookup instead
+        # of one per execution, and the closure stays a cheap cell load.
+        entry_cost = self.cost_model.cost(tag, nbytes)
+
         def execute() -> float:
-            if self.interceptor.crashed:
+            interceptor = self.interceptor
+            if interceptor.crashed:
                 self.stats["jobs_skipped_crashed"] += 1
                 return 0.0
             timer = self._new_timer()
             self._active_timer = timer
             timer.start()
-            timer.charge(self.cost_model.cost(tag, nbytes))
+            timer.charge(entry_cost)
             try:
                 fn()
             finally:
                 elapsed = timer.stop()
                 self._active_timer = None
             self.stats["real_jobs"] += 1
-            return self.interceptor.transform_elapsed(elapsed)
+            return interceptor.transform_elapsed(elapsed)
 
         return execute
 
@@ -175,9 +186,10 @@ class SiteRuntime(Entity):
     def rt_now(self) -> float:
         """Simulated time as seen by real code: kernel time plus the real
         time its job has consumed so far (Figure 1(b))."""
-        if self._active_timer is not None:
-            return self.sim.now + self._active_timer.elapsed()
-        return self.sim.now
+        timer = self._active_timer
+        if timer is not None:
+            return self.sim._now + timer.elapsed()
+        return self.sim._now
 
     def rt_charge(self, seconds: float) -> None:
         """Explicit work declaration from protocol hot loops (cost model)."""
@@ -214,7 +226,13 @@ class SiteRuntime(Entity):
                     return
                 self.submit_real(lambda: fn(*args), tag=tag, nbytes=nbytes)
 
-            handle._event = self.sim.schedule(delta1 + delay, fire)
+            # Handle-free schedule: ``fire`` re-checks ``handle.cancelled``
+            # itself, so the cancellable Event (and its allocation — one
+            # per protocol timer) is redundant.  Cancelled timers no-op at
+            # fire time instead of being dropped from the heap; protocol
+            # timers are short and rarely cancelled, so the heap stays
+            # small either way.
+            self.sim.call(delta1 + delay, fire)
         finally:
             if timer is not None:
                 timer.resume()
@@ -241,7 +259,7 @@ class SiteRuntime(Entity):
         try:
             self.stats["datagrams_out"] += 1
             if delta1 > 0:
-                self.sim.schedule(delta1, self.network_send, dest, payload)
+                self.sim.call(delta1, self.network_send, dest, payload)
             else:
                 self.network_send(dest, payload)
         finally:

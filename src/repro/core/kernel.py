@@ -43,6 +43,10 @@ KB = 1024
 #: One megabyte, in bytes.
 MB = 1024 * 1024
 
+# Module-level binding: a global load beats attribute lookup on the two
+# hottest scheduling entry points.
+_heappush = heapq.heappush
+
 
 class SimulationError(Exception):
     """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
@@ -53,21 +57,38 @@ class Event:
 
     Events are returned by :meth:`Simulator.schedule` and may be cancelled
     before they fire.  A cancelled event stays in the heap but is skipped
-    when popped (lazy deletion), which keeps cancellation O(1).
+    when popped (lazy deletion), which keeps cancellation O(1); the owning
+    simulator compacts the heap once cancelled entries outnumber live
+    ones, so cancel-heavy workloads cannot bloat the queue.
+
+    The heap itself is ordered by ``(time, seq)`` *tuples* — plain tuple
+    comparison runs in C, and event ordering is the hottest comparison in
+    the entire simulator — so events never need to be compared directly.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -87,11 +108,20 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        #: Min-heap of ``(time, seq, event)`` entries — or, for the
+        #: fire-and-forget :meth:`call` path, ``(time, seq, fn, args)``.
+        #: Keyed by tuple so heap maintenance compares tuples in C
+        #: instead of calling ``Event.__lt__`` — profiling shows event
+        #: comparison dominating large campaigns otherwise (millions of
+        #: calls per cell).  ``(time, seq)`` is unique, so comparison
+        #: never reaches the mixed third element.
+        self._queue: list[tuple] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: Cancelled events still sitting in the heap (lazy deletion).
+        self._cancelled = 0
         self.events_executed = 0
 
     # ------------------------------------------------------------------
@@ -113,7 +143,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self._now + delay
+        self._seq += 1
+        event = Event(time, self._seq, fn, args, self)
+        _heappush(self._queue, (time, self._seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated ``time``."""
@@ -122,9 +156,42 @@ class Simulator:
                 f"cannot schedule at t={time!r}, current time is {self._now!r}"
             )
         self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._queue, event)
+        event = Event(time, self._seq, fn, args, self)
+        _heappush(self._queue, (time, self._seq, event))
         return event
+
+    def call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle, so
+        the callback cannot be cancelled.
+
+        Most scheduling in the simulator never uses the returned handle —
+        link transmissions, storage sector completions, lock wake-ups,
+        process steps — yet :meth:`schedule` pays for an :class:`Event`
+        allocation each time.  This variant pushes a bare
+        ``(time, seq, fn, args)`` entry instead.  Ordering is identical:
+        the entry consumes the same sequence number a handle-bearing event
+        would have, and heap comparison never reaches the third element
+        because ``(time, seq)`` keys are unique.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        self._seq += 1
+        _heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def _note_cancelled(self) -> None:
+        """Lazy-deletion bookkeeping: compact the heap once cancelled
+        entries exceed half of it (with a small floor so tiny queues
+        don't churn).  Compaction filters in place — ``run`` holds an
+        alias to the list — and reheapifies; pop order is unaffected
+        because the ``(time, seq)`` keys are unique and total."""
+        self._cancelled += 1
+        queue = self._queue
+        if self._cancelled > 8 and self._cancelled * 2 > len(queue):
+            queue[:] = [
+                entry for entry in queue if len(entry) == 4 or not entry[2].cancelled
+            ]
+            heapq.heapify(queue)
+            self._cancelled = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -145,24 +212,60 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # The hottest loop in the repository: locals for the queue (its
+        # identity is stable — compaction filters in place) and heappop,
+        # tuple unpacking instead of attribute loads.
+        queue = self._queue
+        heappop = heapq.heappop
+        budget = -1 if max_events is None else max_events
+        limit = float("inf") if until is None else until
         try:
-            while self._queue:
-                if self._stopped:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.fn(*event.args)
-                executed += 1
-                self.events_executed += 1
+            # Two copies of the dispatch loop: the budget comparison is
+            # dead weight on the (overwhelmingly common) unbounded path,
+            # and this loop runs once per event in the whole simulator.
+            if budget < 0:
+                while queue and not self._stopped:
+                    entry = queue[0]
+                    time = entry[0]
+                    if time > limit:
+                        break
+                    heappop(queue)
+                    if len(entry) == 4:
+                        # Fire-and-forget entry from :meth:`call` — nothing
+                        # to check for cancellation, just dispatch.
+                        self._now = time
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = time
+                        event.fn(*event.args)
+                    executed += 1
+            else:
+                while queue and not self._stopped:
+                    if executed == budget:
+                        break
+                    entry = queue[0]
+                    time = entry[0]
+                    if time > limit:
+                        break
+                    heappop(queue)
+                    if len(entry) == 4:
+                        self._now = time
+                        entry[2](*entry[3])
+                    else:
+                        event = entry[2]
+                        if event.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self._now = time
+                        event.fn(*event.args)
+                    executed += 1
         finally:
             self._running = False
+            self.events_executed += executed
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -173,7 +276,9 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(
+            1 for entry in self._queue if len(entry) == 4 or not entry[2].cancelled
+        )
 
     # ------------------------------------------------------------------
     # processes
@@ -191,7 +296,7 @@ class Simulator:
         proc = Process(self, generator, name)
         # Start on a fresh event so creation order equals start order but
         # the caller's frame finishes first.
-        self.schedule(0.0, proc._step, None)
+        self.call(0.0, proc._step, None)
         return proc
 
 
@@ -227,12 +332,15 @@ class Signal:
         self._fired = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        sim = self.sim
         for waiter in waiters:
-            self.sim.schedule(0.0, waiter, value)
+            # Inlined zero-delay Simulator.call.
+            sim._seq += 1
+            _heappush(sim._queue, (sim._now, sim._seq, waiter, (value,)))
 
     def _add_waiter(self, resume: Callable[[Any], None]) -> None:
         if self.latch and self._fired:
-            self.sim.schedule(0.0, resume, self._value)
+            self.sim.call(0.0, resume, self._value)
         else:
             self._waiters.append(resume)
 
@@ -271,7 +379,16 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if isinstance(yielded, (int, float)):
-            self.sim.schedule(float(yielded), self._step, None)
+            # Sleeps are never cancelled individually (interrupt() marks
+            # the process done and the stale step no-ops), so the
+            # handle-free path applies — inlined, as every transaction
+            # step in the process model passes through here.
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay!r}s in the past")
+            sim = self.sim
+            sim._seq += 1
+            _heappush(sim._queue, (sim._now + delay, sim._seq, self._step, (None,)))
         elif isinstance(yielded, Signal):
             yielded._add_waiter(self._step)
         elif isinstance(yielded, Process):
@@ -320,13 +437,24 @@ class Entity:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name or type(self).__name__
+        # Bind the simulator's schedule directly on the instance: entity
+        # scheduling is hot-path (every link transmission, storage sector
+        # and CPU completion goes through it) and the extra delegation
+        # frame of the class-level helper below is measurable.  The
+        # method definition stays as documentation and for subclasses
+        # that look it up on the class.
+        self.schedule = sim.schedule
+        self.call = sim.call
 
     @property
     def now(self) -> float:
-        return self.sim.now
+        return self.sim._now
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         return self.sim.schedule(delay, fn, *args)
+
+    def call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        self.sim.call(delay, fn, *args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

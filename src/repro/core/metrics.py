@@ -45,7 +45,7 @@ TX_RECORD_FIELDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxRecord:
     """One finished transaction as seen by its issuing client."""
 
@@ -245,7 +245,7 @@ def qq_points(
 # ----------------------------------------------------------------------
 # resource usage sampling (Figure 6)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceSample:
     """Per-interval resource usage (not cumulative): each sample covers
     the window ending at ``time``."""
@@ -371,51 +371,64 @@ class ResourceSampler(Entity):
         self._last_cpu = [self._pool_busy(pool) for pool in self.cpu_pools]
         self._last_disk = [s.stats.busy_time for s in self.storages]
         self._last_net = self.capture.total_bytes if self.capture else 0
-        self.schedule(self.interval, self._tick)
+        self.call(self.interval, self._tick)
 
     def _pool_busy(self, pool) -> Tuple[float, float]:
         """(sim, real) cumulative busy seconds over a pool's CPUs,
-        including the running slice of in-progress jobs."""
+        including the running slice of in-progress jobs.
+
+        Reads the counters directly — no ``dict`` copy per CPU per tick;
+        sampling must stay invisible next to the work it observes."""
         sim_busy = real_busy = 0.0
+        now = self.now
         for cpu in pool.cpus:
-            usage = dict(cpu.busy_time)
-            if cpu.busy:
-                usage[cpu.current_kind] += self.now - cpu._current_started
-            sim_busy += usage["sim"]
-            real_busy += usage["real"]
+            counters = cpu.busy_time
+            sim_part = counters["sim"]
+            real_part = counters["real"]
+            current = cpu._current
+            if current is not None:
+                if current.kind == "sim":
+                    sim_part = sim_part + (now - cpu._current_started)
+                else:
+                    real_part = real_part + (now - cpu._current_started)
+            sim_busy += sim_part
+            real_busy += real_part
         return sim_busy, real_busy
 
     def _tick(self) -> None:
+        # Running sums instead of per-tick fraction lists: same additions
+        # in the same order as summing the lists, no allocation.
         cpu_total = cpu_real = 0.0
         if self.cpu_pools:
-            fractions_total = []
-            fractions_real = []
+            total_sum = real_sum = 0.0
+            last_cpu = self._last_cpu
             for i, pool in enumerate(self.cpu_pools):
                 now_busy = self._pool_busy(pool)
                 window = self.interval * len(pool.cpus)
-                delta_sim = now_busy[0] - self._last_cpu[i][0]
-                delta_real = now_busy[1] - self._last_cpu[i][1]
-                self._last_cpu[i] = now_busy
-                fractions_total.append((delta_sim + delta_real) / window)
-                fractions_real.append(delta_real / window)
-            cpu_total = sum(fractions_total) / len(fractions_total)
-            cpu_real = sum(fractions_real) / len(fractions_real)
+                delta_sim = now_busy[0] - last_cpu[i][0]
+                delta_real = now_busy[1] - last_cpu[i][1]
+                last_cpu[i] = now_busy
+                total_sum += (delta_sim + delta_real) / window
+                real_sum += delta_real / window
+            cpu_total = total_sum / len(self.cpu_pools)
+            cpu_real = real_sum / len(self.cpu_pools)
         disk = 0.0
         if self.storages:
-            values = []
+            disk_sum = 0.0
+            last_disk = self._last_disk
             for i, storage in enumerate(self.storages):
                 busy = storage.stats.busy_time
                 window = self.interval * storage.concurrency
-                values.append(min(1.0, (busy - self._last_disk[i]) / window))
-                self._last_disk[i] = busy
-            disk = sum(values) / len(values)
+                disk_sum += min(1.0, (busy - last_disk[i]) / window)
+                last_disk[i] = busy
+            disk = disk_sum / len(self.storages)
         net_now = self.capture.total_bytes if self.capture else 0
         net_delta = net_now - self._last_net
         self._last_net = net_now
         self.samples.append(
             ResourceSample(self.now, cpu_total, cpu_real, disk, net_delta)
         )
-        self.schedule(self.interval, self._tick)
+        self.call(self.interval, self._tick)
 
     # ------------------------------------------------------------------
     def series(self) -> SampleSeries:

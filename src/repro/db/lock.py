@@ -122,16 +122,18 @@ class LockManager(Entity):
             self._remove_waiter(request)
             return
         released = self._release_items(request)
-        victims = [
-            waiter
-            for waiter in self._waiting
-            if not waiter.remote and any(item in released for item in waiter.items)
-        ]
-        for victim in victims:
-            self._waiting.remove(victim)
-            self.stats["ww_aborts"] += 1
-            self._notify(victim, WW_ABORTED)
-        self._regrant()
+        if self._waiting:
+            released_set = set(released)
+            victims = [
+                waiter
+                for waiter in self._waiting
+                if not waiter.remote and not released_set.isdisjoint(waiter.items)
+            ]
+            for victim in victims:
+                self._waiting.remove(victim)
+                self.stats["ww_aborts"] += 1
+                self._notify(victim, WW_ABORTED)
+            self._regrant()
 
     def release_abort(self, request: LockRequest) -> None:
         """Release on abort: locks pass to the next eligible waiters."""
@@ -139,7 +141,8 @@ class LockManager(Entity):
             self._remove_waiter(request)
             return
         self._release_items(request)
-        self._regrant()
+        if self._waiting:
+            self._regrant()
 
     # ------------------------------------------------------------------
     # introspection
@@ -158,7 +161,14 @@ class LockManager(Entity):
     # internals
     # ------------------------------------------------------------------
     def _all_free(self, items: Tuple[int, ...]) -> bool:
-        return all(item not in self._holders for item in items)
+        # Plain loop, not ``all(genexpr)``: this runs once per acquisition
+        # and once per waiter per regrant pass, and the generator frame is
+        # measurable at that rate.
+        holders = self._holders
+        for item in items:
+            if item in holders:
+                return False
+        return True
 
     def _grant(self, request: LockRequest, immediate: bool) -> None:
         for item in request.items:
@@ -171,9 +181,10 @@ class LockManager(Entity):
 
     def _release_items(self, request: LockRequest) -> Tuple[int, ...]:
         released = []
+        holders = self._holders
         for item in request.items:
-            if self._holders.get(item) is request:
-                del self._holders[item]
+            if holders.get(item) is request:
+                del holders[item]
                 released.append(item)
         request.granted = False
         return tuple(released)
@@ -221,4 +232,4 @@ class LockManager(Entity):
             self._notify(waiter, WW_ABORTED)
 
     def _notify(self, request: LockRequest, event: str) -> None:
-        self.schedule(0.0, request.on_event, event)
+        self.call(0.0, request.on_event, event)

@@ -76,7 +76,7 @@ class LocalTermination(TerminationProtocol):
         signal = Signal(self.sim, latch=True)
         self._next_seq += 1
         tx.global_seq = self._next_seq
-        self.sim.schedule(0.0, signal.fire, Outcome.COMMIT)
+        self.sim.call(0.0, signal.fire, Outcome.COMMIT)
         return signal
 
     def applied_watermark(self) -> int:
@@ -284,7 +284,7 @@ class DatabaseServer(Entity):
     def _cpu_job(self, duration: float, tag: str) -> Signal:
         signal = Signal(self.sim, latch=True)
         if duration <= 0:
-            self.schedule(0.0, signal.fire, None)
+            self.call(0.0, signal.fire, None)
             return signal
         job = Job(
             SIM_JOB,

@@ -21,6 +21,7 @@ __all__ = [
     "Transaction",
     "TxStatus",
     "Outcome",
+    "reset_tx_counter",
 ]
 
 
@@ -32,7 +33,7 @@ class OpKind(Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One step of a transaction.
 
@@ -53,7 +54,7 @@ class Operation:
             raise ValueError(f"{self.kind.value} requires an item")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionSpec:
     """The full, pre-known description of one transaction.
 
@@ -115,6 +116,19 @@ class Outcome(Enum):
 
 
 _tx_counter = itertools.count(1)
+
+
+def reset_tx_counter() -> None:
+    """Restart transaction ids at 1.
+
+    Called by :class:`~repro.core.experiment.Scenario` before each run so
+    a cell's transaction ids — which appear in its metrics records — are
+    a pure function of the cell's config, not of how many cells ran
+    earlier in the process.  That is what makes campaign results
+    bit-identical between sequential execution and a worker pool.
+    """
+    global _tx_counter
+    _tx_counter = itertools.count(1)
 
 
 class Transaction:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Optional, Tuple
 
-from ..db.tuples import is_table_lock, table_of
+from ..db.tuples import ROW_BITS
 from .marshal import CommitRequest
 
 __all__ = ["Certifier", "CertificationError", "sets_conflict"]
@@ -35,18 +35,29 @@ class CertificationError(RuntimeError):
     """The committed-write-set log was pruned past a request's horizon."""
 
 
+#: Row-part mask of the 64-bit tuple id (mirrors ``repro.db.tuples``):
+#: a zero row part marks a whole-table lock.  The id layout is inlined
+#: here because this merge loop runs once per (request, log entry) pair
+#: during certification — by far the hottest consumer of the encoding —
+#: and the ``is_table_lock``/``table_of`` calls dominate its runtime.
+_ROW_MASK = (1 << ROW_BITS) - 1
+
+
 def sets_conflict(reads: Tuple[int, ...], writes: Tuple[int, ...]) -> bool:
     """Single-traversal intersection test over two sorted id lists,
     honouring table-lock coverage in either list."""
     i = j = 0
     len_r, len_w = len(reads), len(writes)
+    row_bits, row_mask = ROW_BITS, _ROW_MASK
     while i < len_r and j < len_w:
-        r, w = reads[i], writes[j]
+        r = reads[i]
+        w = writes[j]
         if r == w:
             return True
-        if is_table_lock(r) and table_of(r) == table_of(w):
-            return True
-        if is_table_lock(w) and table_of(w) == table_of(r):
+        # Same table, and either id is the whole-table lock (row part 0).
+        if (r >> row_bits) == (w >> row_bits) and (
+            not r & row_mask or not w & row_mask
+        ):
             return True
         if r < w:
             i += 1
@@ -63,9 +74,13 @@ class Certifier:
         charge: Optional[Callable[[float], None]] = None,
         log_limit: int = 50_000,
     ):
-        #: (commit_seq, write_set) of committed update transactions, in
-        #: commit order; pruned to the trailing ``log_limit`` entries.
-        self._log: Deque[Tuple[int, Tuple[int, ...]]] = deque()
+        #: ``(commit_seq, write_set, wset, wtables, wlocks)`` of committed
+        #: update transactions, in commit order; pruned to the trailing
+        #: ``log_limit`` entries.  The three frozensets are precomputed at
+        #: append time (ids, tables touched, tables locked whole) so the
+        #: per-request conflict test below is pure C-level ``isdisjoint``
+        #: probes instead of a Python merge loop per log entry.
+        self._log: Deque[Tuple] = deque()
         self._charge = charge or (lambda seconds: None)
         self.log_limit = log_limit
         self.next_commit_seq = 0
@@ -90,22 +105,43 @@ class Certifier:
         self.next_commit_seq += 1
         commit_seq = self.next_commit_seq
         if request.write_set:
-            self._log.append((commit_seq, request.write_set))
+            self._log.append(self._log_entry(commit_seq, request.write_set))
             while len(self._log) > self.log_limit:
                 self._log.popleft()
         self.stats["committed"] += 1
         return True, commit_seq
 
+    @staticmethod
+    def _log_entry(commit_seq: int, write_set: Tuple[int, ...]) -> Tuple:
+        return (
+            commit_seq,
+            write_set,
+            frozenset(write_set),
+            frozenset(w >> ROW_BITS for w in write_set),
+            frozenset(w >> ROW_BITS for w in write_set if not w & _ROW_MASK),
+        )
+
     def _conflicts(self, request: CommitRequest) -> bool:
-        if not request.read_set:
+        reads = request.read_set
+        if not reads:
             return False
+        # The set-based test is equivalent to running ``sets_conflict``
+        # against each entry: ids intersect, a read table-lock covers a
+        # written table, or a write table-lock covers a read table.
+        rset, rtables, rlocks = request.read_footprint
+        n_reads = len(reads)
+        start_seq = request.start_seq
         visited = 0
         conflict = False
-        for commit_seq, write_set in reversed(self._log):
-            if commit_seq <= request.start_seq:
+        for commit_seq, write_set, wset, wtables, wlocks in reversed(self._log):
+            if commit_seq <= start_seq:
                 break
-            visited += len(write_set) + len(request.read_set)
-            if sets_conflict(request.read_set, write_set):
+            visited += len(write_set) + n_reads
+            if (
+                not rset.isdisjoint(wset)
+                or not rlocks.isdisjoint(wtables)
+                or not rtables.isdisjoint(wlocks)
+            ):
                 conflict = True
                 break
         self._charge(visited * PER_ITEM_COST)
@@ -122,14 +158,15 @@ class Certifier:
         log's layout."""
         return {
             "next_commit_seq": self.next_commit_seq,
-            "log": [[seq, list(write_set)] for seq, write_set in self._log],
+            "log": [[entry[0], list(entry[1])] for entry in self._log],
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
         """Adopt a donor's :meth:`snapshot_state`."""
         self.next_commit_seq = int(state["next_commit_seq"])
         self._log = deque(
-            (int(seq), tuple(write_set)) for seq, write_set in state["log"]
+            self._log_entry(int(seq), tuple(write_set))
+            for seq, write_set in state["log"]
         )
 
     # ------------------------------------------------------------------

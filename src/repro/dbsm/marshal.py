@@ -17,11 +17,22 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Tuple
+from functools import cached_property
+from typing import FrozenSet, Tuple
 
 from ..db.transactions import TransactionSpec
+from ..db.tuples import ROW_BITS
 
-__all__ = ["CommitRequest", "marshal_request", "unmarshal_request"]
+#: Row-part mask of the 64-bit tuple id (a zero row part marks a
+#: whole-table lock); mirrors ``repro.db.tuples``.
+_ROW_MASK = (1 << ROW_BITS) - 1
+
+__all__ = [
+    "CommitRequest",
+    "marshal_request",
+    "unmarshal_request",
+    "unmarshal_request_cached",
+]
 
 _HEADER = struct.Struct("<HQQdIHII")  # origin, tx_id, start_seq, commit_cpu,
 # commit_sectors, class-name length, read count, write count
@@ -40,6 +51,25 @@ class CommitRequest:
     write_bytes: int  # total size of written values (padding length)
     commit_cpu: float
     commit_sectors: int
+
+    @cached_property
+    def read_footprint(
+        self,
+    ) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """``(ids, tables, whole-table-locked tables)`` of the read set
+        as frozensets.
+
+        Certification probes these against every concurrent committed
+        write set; caching them here means they are computed once per
+        transaction and shared by all replicas' certifiers (the decode
+        memo hands every replica the same instance).
+        """
+        reads = self.read_set
+        return (
+            frozenset(reads),
+            frozenset(r >> ROW_BITS for r in reads),
+            frozenset(r >> ROW_BITS for r in reads if not r & _ROW_MASK),
+        )
 
     def remote_spec(self, cpu_factor: float) -> TransactionSpec:
         """The apply-side reconstruction every replication protocol
@@ -111,3 +141,23 @@ def unmarshal_request(buffer: bytes) -> CommitRequest:
         commit_cpu=commit_cpu,
         commit_sectors=commit_sectors,
     )
+
+
+#: Value-keyed decode memo: the total order delivers the same termination
+#: message at every replica, so all but the first decode of a buffer are
+#: a single dict probe.  CommitRequest is frozen, so sharing one instance
+#: between replicas is safe; decoding is a pure function of the buffer,
+#: so results never depend on cache state.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_LIMIT = 512
+
+
+def unmarshal_request_cached(buffer: bytes) -> CommitRequest:
+    """:func:`unmarshal_request` with a small value-keyed memo."""
+    request = _DECODE_CACHE.get(buffer)
+    if request is None:
+        request = unmarshal_request(buffer)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[buffer] = request
+    return request

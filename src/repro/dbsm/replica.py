@@ -25,7 +25,7 @@ from ..db.transactions import Outcome, Transaction
 from ..gcs.stack import GroupCommunication
 from ..protocols.base import ReplicationProtocol
 from .certification import Certifier
-from .marshal import CommitRequest, marshal_request, unmarshal_request
+from .marshal import CommitRequest, marshal_request, unmarshal_request_cached
 
 __all__ = ["Replica", "broadcast_commit_request"]
 
@@ -156,7 +156,7 @@ class Replica(ReplicationProtocol):
     def _on_deliver(self, global_seq: int, origin: int, payload: bytes) -> None:
         if self.crashed:
             return
-        request = unmarshal_request(payload)
+        request = unmarshal_request_cached(payload)
         committed, commit_seq = self.certifier.certify(request)
         if committed:
             self.commit_log.append(commit_seq, request.tx_id)

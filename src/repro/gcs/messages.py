@@ -52,6 +52,8 @@ __all__ = [
     "StateMsg",
     "marshal",
     "unmarshal",
+    "unmarshal_cached",
+    "pack_data",
     "MarshalError",
 ]
 
@@ -66,14 +68,23 @@ DECIDE = 8
 STATE_REQ = 9
 STATE = 10
 
+# Every fixed-layout fragment is a precompiled Struct: marshal/unmarshal
+# run once per simulated datagram, and compiling the format string on
+# each call is pure overhead on that path.
 _HEADER = struct.Struct("<BHI")  # type, sender, view_id
+_DATA_BODY = struct.Struct("<Q?I")  # seq, retransmit, payload length
+_NACK_HEAD = struct.Struct("<HI")  # origin, missing count
+_STATE_BODY = struct.Struct("<QHHI")  # snapshot id, frag index, count, length
+_U32 = struct.Struct("<I")
+_PAIR = struct.Struct("<HQ")  # (member, seq)
+_TRIPLE = struct.Struct("<QHQ")  # (global, origin, seq)
 
 
 class MarshalError(ValueError):
     """Raised on malformed or truncated buffers."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataMsg:
     sender: int
     view_id: int
@@ -85,7 +96,7 @@ class DataMsg:
     msg_type = DATA
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NackMsg:
     sender: int  # who is asking
     view_id: int
@@ -95,7 +106,7 @@ class NackMsg:
     msg_type = NACK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SequenceMsg:
     sender: int  # the sequencer
     view_id: int
@@ -105,7 +116,7 @@ class SequenceMsg:
     msg_type = SEQUENCE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StabilityMsg:
     sender: int
     view_id: int
@@ -117,7 +128,7 @@ class StabilityMsg:
     msg_type = STABILITY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatMsg:
     sender: int
     view_id: int
@@ -125,7 +136,7 @@ class HeartbeatMsg:
     msg_type = HEARTBEAT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeMsg:
     sender: int  # coordinator
     view_id: int  # the *proposed* view id
@@ -134,7 +145,7 @@ class ProposeMsg:
     msg_type = PROPOSE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushAckMsg:
     sender: int
     view_id: int  # the proposed view being acknowledged
@@ -150,7 +161,7 @@ class FlushAckMsg:
     msg_type = FLUSH_ACK
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecideMsg:
     sender: int  # coordinator
     view_id: int  # the decided view id
@@ -171,7 +182,7 @@ class DecideMsg:
     msg_type = DECIDE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateReqMsg:
     """A joiner asking an established member to serve it a snapshot."""
 
@@ -181,7 +192,7 @@ class StateReqMsg:
     msg_type = STATE_REQ
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateMsg:
     """One fragment of a state-transfer snapshot (donor → joiner).
 
@@ -201,29 +212,50 @@ class StateMsg:
 # ----------------------------------------------------------------------
 # marshal
 # ----------------------------------------------------------------------
+def pack_data(
+    sender: int, view_id: int, seq: int, payload: bytes, retransmit: bool = False
+) -> bytes:
+    """Wire bytes of a DATA message, straight from its fields.
+
+    Byte-identical to ``marshal(DataMsg(sender, view_id, seq, payload,
+    retransmit))``.  The reliable layer sends and retransmits from
+    payload bytes it already buffers, so it can skip building the
+    dataclass only to tear it apart again here — DATA is the one message
+    sent per transaction, making this the hottest marshal path.
+    """
+    return (
+        _HEADER.pack(DATA, sender, view_id)
+        + _DATA_BODY.pack(seq, retransmit, len(payload))
+        + payload
+    )
+
+
 def marshal(msg) -> bytes:
     """Encode a protocol message into its wire representation."""
-    head = _HEADER.pack(msg.msg_type, msg.sender, msg.view_id)
     if msg.msg_type == DATA:
-        body = struct.pack("<Q?I", msg.seq, msg.retransmit, len(msg.payload))
-        return head + body + msg.payload
+        return pack_data(msg.sender, msg.view_id, msg.seq, msg.payload, msg.retransmit)
+    head = _HEADER.pack(msg.msg_type, msg.sender, msg.view_id)
     if msg.msg_type == NACK:
-        body = struct.pack("<HI", msg.origin, len(msg.missing))
+        body = _NACK_HEAD.pack(msg.origin, len(msg.missing))
         body += struct.pack(f"<{len(msg.missing)}Q", *msg.missing)
         return head + body
     if msg.msg_type == SEQUENCE:
         return head + _pack_triples(msg.assignments)
     if msg.msg_type == STABILITY:
-        body = struct.pack("<I", msg.round_id)
-        body += _pack_u64s(msg.stable)
-        body += struct.pack("<I", len(msg.voted))
-        body += struct.pack(f"<{len(msg.voted)}H", *msg.voted)
-        body += _pack_u64s(msg.mins)
-        return head + body
+        return b"".join(
+            (
+                head,
+                _U32.pack(msg.round_id),
+                _pack_u64s(msg.stable),
+                _U32.pack(len(msg.voted)),
+                struct.pack(f"<{len(msg.voted)}H", *msg.voted),
+                _pack_u64s(msg.mins),
+            )
+        )
     if msg.msg_type == HEARTBEAT:
         return head
     if msg.msg_type == PROPOSE:
-        body = struct.pack("<I", len(msg.members))
+        body = _U32.pack(len(msg.members))
         body += struct.pack(f"<{len(msg.members)}H", *msg.members)
         return head + body
     if msg.msg_type == FLUSH_ACK:
@@ -234,22 +266,22 @@ def marshal(msg) -> bytes:
             + _pack_pairs(msg.pending)
         )
     if msg.msg_type == DECIDE:
-        body = struct.pack("<I", len(msg.members))
-        body += struct.pack(f"<{len(msg.members)}H", *msg.members)
-        body += struct.pack("<I", len(msg.joined))
-        body += struct.pack(f"<{len(msg.joined)}H", *msg.joined)
-        return (
-            head
-            + body
-            + _pack_pairs(msg.targets)
-            + _pack_triples(msg.assignments)
-            + _pack_pairs(msg.pending)
+        return b"".join(
+            (
+                head,
+                _U32.pack(len(msg.members)),
+                struct.pack(f"<{len(msg.members)}H", *msg.members),
+                _U32.pack(len(msg.joined)),
+                struct.pack(f"<{len(msg.joined)}H", *msg.joined),
+                _pack_pairs(msg.targets),
+                _pack_triples(msg.assignments),
+                _pack_pairs(msg.pending),
+            )
         )
     if msg.msg_type == STATE_REQ:
         return head
     if msg.msg_type == STATE:
-        body = struct.pack(
-            "<QHHI",
+        body = _STATE_BODY.pack(
             msg.snapshot_id,
             msg.frag_index,
             msg.frag_count,
@@ -267,24 +299,23 @@ def unmarshal(buffer: bytes):
     view = memoryview(buffer)[_HEADER.size:]
     try:
         if msg_type == DATA:
-            seq, retransmit, length = struct.unpack_from("<Q?I", view)
-            offset = struct.calcsize("<Q?I")
+            seq, retransmit, length = _DATA_BODY.unpack_from(view)
+            offset = _DATA_BODY.size
             payload = bytes(view[offset : offset + length])
             if len(payload) != length:
                 raise MarshalError("truncated DATA payload")
             return DataMsg(sender, view_id, seq, payload, retransmit)
         if msg_type == NACK:
-            origin, count = struct.unpack_from("<HI", view)
-            offset = struct.calcsize("<HI")
-            missing = struct.unpack_from(f"<{count}Q", view, offset)
+            origin, count = _NACK_HEAD.unpack_from(view)
+            missing = struct.unpack_from(f"<{count}Q", view, _NACK_HEAD.size)
             return NackMsg(sender, view_id, origin, tuple(missing))
         if msg_type == SEQUENCE:
             return SequenceMsg(sender, view_id, _unpack_triples(view)[0])
         if msg_type == STABILITY:
-            (round_id,) = struct.unpack_from("<I", view)
+            (round_id,) = _U32.unpack_from(view)
             offset = 4
             stable, offset = _unpack_u64s(view, offset)
-            (w_count,) = struct.unpack_from("<I", view, offset)
+            (w_count,) = _U32.unpack_from(view, offset)
             offset += 4
             voted = struct.unpack_from(f"<{w_count}H", view, offset)
             offset += 2 * w_count
@@ -293,7 +324,7 @@ def unmarshal(buffer: bytes):
         if msg_type == HEARTBEAT:
             return HeartbeatMsg(sender, view_id)
         if msg_type == PROPOSE:
-            (count,) = struct.unpack_from("<I", view)
+            (count,) = _U32.unpack_from(view)
             members = struct.unpack_from(f"<{count}H", view, 4)
             return ProposeMsg(sender, view_id, tuple(members))
         if msg_type == FLUSH_ACK:
@@ -302,11 +333,11 @@ def unmarshal(buffer: bytes):
             pending, _ = _unpack_pairs(view, offset)
             return FlushAckMsg(sender, view_id, contiguous, assignments, pending)
         if msg_type == DECIDE:
-            (count,) = struct.unpack_from("<I", view)
+            (count,) = _U32.unpack_from(view)
             offset = 4
             members = struct.unpack_from(f"<{count}H", view, offset)
             offset += 2 * count
-            (joined_count,) = struct.unpack_from("<I", view, offset)
+            (joined_count,) = _U32.unpack_from(view, offset)
             offset += 4
             joined = struct.unpack_from(f"<{joined_count}H", view, offset)
             offset += 2 * joined_count
@@ -325,10 +356,8 @@ def unmarshal(buffer: bytes):
         if msg_type == STATE_REQ:
             return StateReqMsg(sender, view_id)
         if msg_type == STATE:
-            snapshot_id, frag_index, frag_count, length = struct.unpack_from(
-                "<QHHI", view
-            )
-            offset = struct.calcsize("<QHHI")
+            snapshot_id, frag_index, frag_count, length = _STATE_BODY.unpack_from(view)
+            offset = _STATE_BODY.size
             payload = bytes(view[offset : offset + length])
             if len(payload) != length:
                 raise MarshalError("truncated STATE payload")
@@ -340,51 +369,75 @@ def unmarshal(buffer: bytes):
     raise MarshalError(f"unknown message type {msg_type}")
 
 
+#: Value-keyed decode memo.  A multicast datagram reaches all N group
+#: members as the *same* bytes object, so a hit costs one dict probe
+#: (identity short-circuit, cached hash) instead of a full decode.
+#: Messages are frozen, so sharing one object between receivers is safe.
+_DECODE_CACHE: dict = {}
+
+#: Bound on the memo; cleared wholesale when reached.  Entries are tiny
+#: (the decoded message aliases the buffer's payload bytes), and a full
+#: clear keeps the policy deterministic and allocation-free.  Sized so a
+#: whole campaign cell's distinct buffers usually fit: at 512 the heavy
+#: cells clear several times per run and re-decode a third of their
+#: traffic.
+_DECODE_CACHE_LIMIT = 8192
+
+
+def unmarshal_cached(buffer: bytes):
+    """:func:`unmarshal` with a small value-keyed memo.
+
+    Decoding is a pure function of the buffer, so cache hits and misses
+    return value-identical messages — results never depend on cache
+    state.  Raises :class:`MarshalError` exactly like :func:`unmarshal`
+    (failures are never cached).
+    """
+    msg = _DECODE_CACHE.get(buffer)
+    if msg is None:
+        msg = unmarshal(buffer)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[buffer] = msg
+    return msg
+
+
 # ----------------------------------------------------------------------
 # encoding helpers
 # ----------------------------------------------------------------------
 def _pack_u64s(values: Tuple[int, ...]) -> bytes:
-    return struct.pack("<I", len(values)) + struct.pack(f"<{len(values)}Q", *values)
+    return struct.pack(f"<I{len(values)}Q", len(values), *values)
 
 
 def _unpack_u64s(view, offset: int) -> Tuple[Tuple[int, ...], int]:
-    (count,) = struct.unpack_from("<I", view, offset)
+    (count,) = _U32.unpack_from(view, offset)
     offset += 4
     values = struct.unpack_from(f"<{count}Q", view, offset)
     return tuple(values), offset + 8 * count
 
 
 def _pack_pairs(pairs: Tuple[Tuple[int, int], ...]) -> bytes:
-    out = struct.pack("<I", len(pairs))
-    for a, b in pairs:
-        out += struct.pack("<HQ", a, b)
-    return out
+    pack = _PAIR.pack
+    return _U32.pack(len(pairs)) + b"".join(pack(a, b) for a, b in pairs)
 
 
 def _unpack_pairs(view, offset: int) -> Tuple[Tuple[Tuple[int, int], ...], int]:
-    (count,) = struct.unpack_from("<I", view, offset)
+    (count,) = _U32.unpack_from(view, offset)
     offset += 4
-    pairs = []
-    for _ in range(count):
-        a, b = struct.unpack_from("<HQ", view, offset)
-        offset += struct.calcsize("<HQ")
-        pairs.append((a, b))
-    return tuple(pairs), offset
+    unpack, size = _PAIR.unpack_from, _PAIR.size
+    pairs = tuple(unpack(view, offset + size * k) for k in range(count))
+    return pairs, offset + size * count
 
 
 def _pack_triples(triples: Tuple[Tuple[int, int, int], ...]) -> bytes:
-    out = struct.pack("<I", len(triples))
-    for g, origin, seq in triples:
-        out += struct.pack("<QHQ", g, origin, seq)
-    return out
+    pack = _TRIPLE.pack
+    return _U32.pack(len(triples)) + b"".join(
+        pack(g, origin, seq) for g, origin, seq in triples
+    )
 
 
 def _unpack_triples(view, offset: int = 0):
-    (count,) = struct.unpack_from("<I", view, offset)
+    (count,) = _U32.unpack_from(view, offset)
     offset += 4
-    triples = []
-    for _ in range(count):
-        g, origin, seq = struct.unpack_from("<QHQ", view, offset)
-        offset += struct.calcsize("<QHQ")
-        triples.append((g, origin, seq))
-    return tuple(triples), offset
+    unpack, size = _TRIPLE.unpack_from, _TRIPLE.size
+    triples = tuple(unpack(view, offset + size * k) for k in range(count))
+    return triples, offset + size * count

@@ -26,7 +26,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..core.runtime_api import ProtocolRuntime
 from .config import GcsConfig
 from .flowcontrol import TokenBucket
-from .messages import DataMsg, NackMsg, marshal
+from .messages import DataMsg, NackMsg, marshal, pack_data
 from .window import BufferPool, ReceiveWindow
 
 __all__ = ["ReliableMulticast"]
@@ -53,14 +53,13 @@ class ReliableMulticast:
     ):
         self.runtime = runtime
         self.member_id = member_id
-        self.members = dict(members)
         self.group_dest = group_dest
         self.config = config or GcsConfig()
         self.pool = BufferPool(share=self.config.buffer_share)
         self.bucket = TokenBucket(self.config.send_rate, self.config.send_burst)
-        self.windows: Dict[int, ReceiveWindow] = {
-            m: ReceiveWindow() for m in self.members
-        }
+        self.windows: Dict[int, ReceiveWindow] = {}
+        self._delivered_up_to: Dict[int, int] = {}
+        self._install_members(members, fresh=True)
         self.on_fifo_deliver: Optional[FifoDeliver] = None
         #: Origins currently considered crashed: NACKs for their messages
         #: are redirected to live members.
@@ -71,7 +70,6 @@ class ReliableMulticast:
         #: above its *entire* old stream — assigned or not.
         self._departed_tops: Dict[int, int] = {}
         self._next_seq = 0
-        self._delivered_up_to: Dict[int, int] = {m: 0 for m in self.members}
         self._blocked: Deque[bytes] = deque()
         self._frozen = False
         self._nack_timers: Dict[int, object] = {}
@@ -84,6 +82,32 @@ class ReliableMulticast:
             "blocked_time": 0.0,
         }
         self._blocked_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _install_members(self, members: Dict[int, object], fresh: bool) -> None:
+        """Adopt ``members`` as the current membership view.
+
+        The single place the membership map is copied and the per-origin
+        windows/delivery cursors are kept in step with it.  With
+        ``fresh`` every window is rebuilt from scratch (initial start,
+        rejoin with empty state); otherwise surviving origins keep their
+        windows, departed ones are dropped (their flushed messages were
+        already delivered) and newcomers start clean.
+        """
+        self.members = dict(members)
+        if fresh:
+            self.windows = {m: ReceiveWindow() for m in self.members}
+            self._delivered_up_to = {m: 0 for m in self.members}
+            return
+        for origin in list(self.windows):
+            if origin not in members:
+                del self.windows[origin]
+                self._delivered_up_to.pop(origin, None)
+        for origin in members:
+            self.windows.setdefault(origin, ReceiveWindow())
+            self._delivered_up_to.setdefault(origin, 0)
 
     # ------------------------------------------------------------------
     # sending
@@ -109,9 +133,8 @@ class ReliableMulticast:
     def _transmit(self, payload: bytes) -> None:
         self._next_seq += 1
         seq = self._next_seq
-        message = DataMsg(self.member_id, 0, seq, payload)
         self.pool.store(self.member_id, seq, payload)
-        wire = marshal(message)
+        wire = pack_data(self.member_id, 0, seq, payload)
         delay = self.bucket.reserve(self.runtime.now())
         if delay > 0:
             self.runtime.schedule(delay, self._send_wire, wire)
@@ -172,8 +195,8 @@ class ReliableMulticast:
             payload = self.pool.get(msg.origin, seq)
             if payload is None:
                 continue
-            again = DataMsg(msg.origin, 0, seq, payload, retransmit=True)
-            self.runtime.send(requester, marshal(again))
+            again = pack_data(msg.origin, 0, seq, payload, retransmit=True)
+            self.runtime.send(requester, again)
             self.stats["retransmits_served"] += 1
 
     def _accept(self, origin: int, seq: int, payload: bytes) -> None:
@@ -292,13 +315,11 @@ class ReliableMulticast:
         restarts at zero to be resumed above everything the group ever
         saw from our previous incarnations (see
         :meth:`fast_forward_origin`)."""
-        self.members = dict(members)
+        self._install_members(members, fresh=True)
         self.pool = BufferPool(share=self.config.buffer_share)
-        self.windows = {m: ReceiveWindow() for m in self.members}
         self.suspected = set()
         self._departed_tops = {}
         self._next_seq = 0
-        self._delivered_up_to = {m: 0 for m in self.members}
         self._blocked.clear()
         self._blocked_since = None
         self._frozen = True
@@ -354,14 +375,7 @@ class ReliableMulticast:
     def reset_membership(self, members: Dict[int, object]) -> None:
         """Install the new view's membership: departed origins' windows
         are dropped (their flushed messages were already delivered)."""
-        self.members = dict(members)
-        for origin in list(self.windows):
-            if origin not in members:
-                del self.windows[origin]
-                self._delivered_up_to.pop(origin, None)
-        for origin in members:
-            self.windows.setdefault(origin, ReceiveWindow())
-            self._delivered_up_to.setdefault(origin, 0)
+        self._install_members(members, fresh=False)
         # Suspicions about departed members are moot once the view drops
         # them; members retained by the view get a clean slate too.
         self.suspected &= set(members)

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.runtime_api import ProtocolRuntime
 from .config import GcsConfig
-from .messages import SequenceMsg, marshal, unmarshal
+from .messages import SequenceMsg, marshal, unmarshal_cached
 from .reliable import ReliableMulticast
 
 __all__ = ["TotalOrder", "TAG_APP", "TAG_SEQ"]
@@ -105,7 +105,9 @@ class TotalOrder:
                 self._queue_assignment(origin, seq)
             self._try_deliver()
         elif tag == TAG_SEQ:
-            msg = unmarshal(body)
+            # Every member decodes the same assignment batch; the memo
+            # makes all but the first decode a dict probe.
+            msg = unmarshal_cached(body)
             if msg.view_id < self.view_id:
                 return  # stale assignments from a superseded view
             self._adopt_assignments(msg.assignments)

@@ -42,7 +42,7 @@ from .messages import (
     STATE_REQ,
     MarshalError,
     marshal,
-    unmarshal,
+    unmarshal_cached,
 )
 from .reliable import ReliableMulticast
 from .sequencer import TotalOrder
@@ -216,7 +216,9 @@ class GroupCommunication:
     # ------------------------------------------------------------------
     def _on_wire(self, source: object, buffer: bytes) -> None:
         try:
-            msg = unmarshal(buffer)
+            # Cached decode: the same multicast buffer arrives at every
+            # member, so only the first receiver pays for the parse.
+            msg = unmarshal_cached(buffer)
         except MarshalError:
             return  # corrupt datagram: drop, reliability recovers
         kind = msg.msg_type

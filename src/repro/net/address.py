@@ -13,7 +13,7 @@ from dataclasses import dataclass
 __all__ = ["Endpoint", "GroupAddress"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Endpoint:
     """A unicast UDP-style endpoint: host name + port number."""
 
@@ -24,7 +24,7 @@ class Endpoint:
         return f"{self.host}:{self.port}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class GroupAddress:
     """An IP-multicast-style group address.
 

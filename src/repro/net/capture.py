@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional
 __all__ = ["CaptureEntry", "PacketCapture"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CaptureEntry:
     """One packet observed on the fabric."""
 
@@ -42,12 +42,19 @@ class PacketCapture:
     def record(self, time: float, source: str, dest: str, size: int, kind: str) -> None:
         if self.keep_entries:
             self.entries.append(CaptureEntry(time, source, dest, size, kind))
+        self.tally(time, size, kind)
+
+    def tally(self, time: float, size: int, kind: str) -> None:
+        """Totals-only accounting — the per-datagram fast path.
+
+        The network plane calls this directly when entry retention is
+        off, so the endpoint/destination strings a full :meth:`record`
+        wants are never built for traffic nobody will inspect."""
         if kind not in ("drop", "partition"):
             self.total_bytes += size
             self.total_packets += 1
-            self._buckets[int(time / self.bucket_seconds)] = (
-                self._buckets.get(int(time / self.bucket_seconds), 0) + size
-            )
+            bucket = int(time / self.bucket_seconds)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + size
 
     # ------------------------------------------------------------------
     # queries

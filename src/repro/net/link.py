@@ -10,7 +10,8 @@ bandwidth ceilings of Figures 3(a)/3(b) come from.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from heapq import heappush as _heappush
+from typing import Callable, Deque, Tuple
 
 from ..core.kernel import Entity, Simulator
 
@@ -45,6 +46,14 @@ class RateLimitedLink(Entity):
     packets, and invokes ``on_delivered`` at the instant the last bit
     plus the propagation delay arrive.  The queue holds at most
     ``queue_bytes`` of not-yet-transmitted data; beyond that, tail drop.
+
+    The serializer is modeled as a busy-until horizon rather than an
+    event per transmission slot: an accepted packet's start time is
+    ``max(now, free_at)``, so the only event a packet costs is its own
+    delivery — no per-packet "link free, start the next one" wake-up.
+    The not-yet-started backlog (what the tail-drop check runs against)
+    is a deque of ``(start_time, size)`` pairs drained lazily as the
+    clock passes their start times.
     """
 
     def __init__(
@@ -64,9 +73,10 @@ class RateLimitedLink(Entity):
         self.latency = latency
         self.queue_bytes = queue_bytes
         self.stats = LinkStats()
-        self._queued: Deque[Tuple[int, Callable[[], None]]] = deque()
-        self._queued_bytes = 0
-        self._transmitting = False
+        #: When the serializer finishes its current backlog.
+        self._free_at = 0.0
+        self._backlog: Deque[Tuple[float, int]] = deque()
+        self._backlog_bytes = 0
 
     def transmission_time(self, size: int) -> float:
         return (size + WIRE_OVERHEAD_BYTES) * 8.0 / self.bandwidth_bps
@@ -74,32 +84,74 @@ class RateLimitedLink(Entity):
     def deliver(self, size: int, on_delivered: Callable[[], None]) -> bool:
         """Queue a packet of ``size`` payload bytes.  Returns False and
         counts a drop if the buffer is full."""
-        if self._queued_bytes + size > self.queue_bytes:
+        return self.deliver_at(self.sim._now, size, on_delivered)
+
+    def deliver_at(
+        self, now: float, size: int, on_delivered: Callable[[], None]
+    ) -> bool:
+        """:meth:`deliver` for a packet arriving at future instant
+        ``now``.
+
+        Lets the fabric bind a packet to its ingress link at send time
+        instead of scheduling an arrival event first — valid only when
+        every packet headed for this link carries the same propagation
+        offset (binding order then equals arrival order), which the
+        fabric checks before using it.
+        """
+        sim = self.sim
+        backlog = self._backlog
+        while backlog and backlog[0][0] <= now:
+            self._backlog_bytes -= backlog.popleft()[1]
+        if self._backlog_bytes + size > self.queue_bytes:
             self.stats.packets_dropped += 1
             return False
-        self._queued.append((size, on_delivered))
-        self._queued_bytes += size
-        if not self._transmitting:
-            self._transmit_next()
+        tx_time = self.transmission_time(size)
+        start = self._free_at
+        stats = self.stats
+        stats.busy_time += tx_time
+        stats.bytes_sent += size + WIRE_OVERHEAD_BYTES
+        stats.packets_sent += 1
+        # The receiver sees the packet after serialization + propagation.
+        # Inlined fire-and-forget schedules (see Simulator.call): this is
+        # one of the two hottest event producers in the simulator.
+        sim._seq += 1
+        if start <= now:
+            # Idle link: the packet's only event is its own delivery.
+            self._free_at = now + tx_time
+            _heappush(
+                sim._queue,
+                # Grouped as now + (tx + latency): the exact float the
+                # per-slot event scheme produced, keeping delivery
+                # timestamps bit-identical across the two models.
+                (now + (tx_time + self.latency), sim._seq, on_delivered, ()),
+            )
+        else:
+            # Busy link: the packet queues.  Its delivery event must be
+            # *allocated* at transmission start — exactly when the old
+            # transmit-slot scheme allocated it — so same-instant event
+            # ordering (and with it every result bit) is preserved.
+            self._free_at = start + tx_time
+            backlog.append((start, size))
+            self._backlog_bytes += size
+            _heappush(
+                sim._queue, (start, sim._seq, self._begin, (tx_time, on_delivered))
+            )
         return True
+
+    def _begin(self, tx_time: float, on_delivered: Callable[[], None]) -> None:
+        """Transmission start of a packet that queued behind the backlog:
+        schedule its delivery at last-bit + propagation."""
+        sim = self.sim
+        sim._seq += 1
+        _heappush(
+            sim._queue,
+            (sim._now + (tx_time + self.latency), sim._seq, on_delivered, ()),
+        )
 
     def queue_depth(self) -> int:
         """Bytes waiting to be transmitted (not counting the in-flight one)."""
-        return self._queued_bytes
-
-    # ------------------------------------------------------------------
-    def _transmit_next(self) -> None:
-        if not self._queued:
-            self._transmitting = False
-            return
-        self._transmitting = True
-        size, on_delivered = self._queued.popleft()
-        self._queued_bytes -= size
-        tx_time = self.transmission_time(size)
-        self.stats.busy_time += tx_time
-        self.stats.bytes_sent += size + WIRE_OVERHEAD_BYTES
-        self.stats.packets_sent += 1
-        # The receiver sees the packet after serialization + propagation;
-        # the link is free for the next packet after serialization alone.
-        self.schedule(tx_time + self.latency, on_delivered)
-        self.schedule(tx_time, self._transmit_next)
+        now = self.sim._now
+        backlog = self._backlog
+        while backlog and backlog[0][0] <= now:
+            self._backlog_bytes -= backlog.popleft()[1]
+        return self._backlog_bytes

@@ -16,6 +16,7 @@ reproduces that behaviour for the validation benches.
 from __future__ import annotations
 
 import math
+from heapq import heappush as _heappush
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..core.kernel import Entity, Simulator
@@ -104,6 +105,14 @@ class Network(Entity):
         #: host -> partition component id; hosts in different components
         #: cannot exchange packets.  Unlisted hosts share component 0.
         self._partition: Dict[str, int] = {}
+        #: (group, sender) -> resolved target endpoints.  Membership
+        #: changes rarely; resolving (sorted member scan + Endpoint
+        #: construction) per multicast datagram is measurable.  Cleared
+        #: wholesale on every join/leave.
+        self._mcast_targets: Dict[Tuple[GroupAddress, str], List[Endpoint]] = {}
+        #: Lazily computed "all hosts share one segment" flag gating the
+        #: folded switch hop in :meth:`_fan_out`; reset by ``add_host``.
+        self._uniform_segment: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # topology construction
@@ -126,6 +135,7 @@ class Network(Entity):
             segment,
         )
         self.hosts[name] = host
+        self._uniform_segment = None
         return host
 
     def set_wan_latency(self, segment_a: str, segment_b: str, latency: float) -> None:
@@ -139,11 +149,13 @@ class Network(Entity):
         if host_name not in self.hosts:
             raise ValueError(f"unknown host {host_name!r}")
         self._groups.setdefault(group, set()).add(host_name)
+        self._mcast_targets.clear()
 
     def leave(self, group: GroupAddress, host_name: str) -> None:
         members = self._groups.get(group)
         if members:
             members.discard(host_name)
+        self._mcast_targets.clear()
 
     def members(self, group: GroupAddress) -> Tuple[str, ...]:
         return tuple(sorted(self._groups.get(group, ())))
@@ -198,31 +210,47 @@ class Network(Entity):
     ) -> None:
         source = Endpoint(src_host.name, src_port)
         if isinstance(dest, GroupAddress):
-            targets = [
-                Endpoint(member, dest.port)
-                for member in self.members(dest)
-                if member != src_host.name
-            ]
+            key = (dest, src_host.name)
+            targets = self._mcast_targets.get(key)
+            if targets is None:
+                targets = [
+                    Endpoint(member, dest.port)
+                    for member in self.members(dest)
+                    if member != src_host.name
+                ]
+                self._mcast_targets[key] = targets
             kind = "multicast"
-            label = str(dest)
         elif isinstance(dest, list):
             targets = list(dest)
             kind = "unicast"
-            label = ",".join(str(t) for t in targets)
         else:
             targets = [dest]
             kind = "unicast"
-            label = str(dest)
 
         size = self.wire_size(len(payload))
-        self.capture.record(self.now, str(source), label, size, kind)
+        now = self.sim._now
+        if self.capture.keep_entries:
+            if kind == "multicast":
+                label = str(dest)
+            elif isinstance(dest, list):
+                label = ",".join(str(t) for t in targets)
+            else:
+                label = str(dest)
+            self.capture.record(now, str(source), label, size, kind)
+        else:
+            self.capture.tally(now, size, kind)
 
-        local = [t for t in targets if t.host == src_host.name]
-        remote = [t for t in targets if t.host != src_host.name]
-        for target in local:
-            self.schedule(
-                self.loopback_latency, self._deliver_local, source, target, payload
-            )
+        if kind == "multicast":
+            # Multicast targets never include the sender (filtered when
+            # the target list is resolved), so there is no loopback leg.
+            remote = targets
+        else:
+            local = [t for t in targets if t.host == src_host.name]
+            remote = [t for t in targets if t.host != src_host.name]
+            for target in local:
+                self.call(
+                    self.loopback_latency, self._deliver_local, source, target, payload
+                )
         if not remote:
             return
         if kind == "multicast":
@@ -241,20 +269,56 @@ class Network(Entity):
     def _fan_out(
         self, source: Endpoint, targets: Iterable[Endpoint], payload: bytes, size: int
     ) -> None:
-        src_segment = self.hosts[source.host].segment
+        sim = self.sim
+        hosts = self.hosts
+        src_segment = hosts[source.host].segment
+        uniform = self._uniform_segment
+        if uniform is None:
+            segments = {h.segment for h in hosts.values()}
+            uniform = self._uniform_segment = len(segments) <= 1
         for target in targets:
-            host = self.hosts.get(target.host)
+            host = hosts.get(target.host)
             if host is None:
                 continue
             if not self.reachable(source.host, target.host):
-                self.capture.record(
-                    self.now, str(source), str(target), size, "partition"
+                if self.capture.keep_entries:
+                    self.capture.record(
+                        self.now, str(source), str(target), size, "partition"
+                    )
+                continue
+            if uniform:
+                # Single-segment fabric: every ingress-bound packet carries
+                # the same propagation offset, so binding order equals
+                # arrival order and the switch hop folds into the ingress
+                # link directly — one event per packet instead of two.
+                arrival = sim._now + self.switch_latency
+                accepted = host.ingress.deliver_at(
+                    arrival,
+                    size,
+                    lambda host=host, port=target.port: host.receive(
+                        source, port, payload
+                    ),
                 )
+                if not accepted and self.capture.keep_entries:
+                    self.capture.record(
+                        arrival, str(source), str(target), size, "drop"
+                    )
                 continue
             extra = self.switch_latency
             if host.segment != src_segment:
                 extra += self._wan_latency.get((src_segment, host.segment), 0.0)
-            self.schedule(extra, self._ingress, host, source, target, payload, size)
+            # Inlined fire-and-forget schedule (see Simulator.call): one
+            # switch-hop event per packet per receiver.
+            sim._seq += 1
+            _heappush(
+                sim._queue,
+                (
+                    sim._now + extra,
+                    sim._seq,
+                    self._ingress,
+                    (host, source, target, payload, size),
+                ),
+            )
 
     def _ingress(
         self, host: Host, source: Endpoint, target: Endpoint, payload: bytes, size: int
@@ -263,7 +327,8 @@ class Network(Entity):
             size, lambda: host.receive(source, target.port, payload)
         )
         if not accepted:
-            self.capture.record(self.now, str(source), str(target), size, "drop")
+            if self.capture.keep_entries:
+                self.capture.record(self.now, str(source), str(target), size, "drop")
 
     def _deliver_local(self, source: Endpoint, target: Endpoint, payload: bytes) -> None:
         host = self.hosts[target.host]

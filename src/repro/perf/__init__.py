@@ -1,0 +1,46 @@
+"""Performance trajectory: the harness behind ``BENCH_<n>.json``.
+
+``python -m repro.runner perf`` measures how fast the simulator itself
+executes pinned campaigns and records the numbers into schema-versioned
+``BENCH_<n>.json`` files at the repo root — one per performance PR, so
+the file sequence is the perf trajectory.  See ``benchmarks/perf/`` for
+the runnable entry points and README.
+"""
+
+from .bench import (
+    BENCH_FORMAT,
+    FIRST_BENCH_ID,
+    BenchFormatError,
+    bench_path,
+    compute_speedups,
+    load_bench,
+    next_bench_id,
+    validate_bench,
+    write_bench,
+)
+from .harness import (
+    PERF_CAMPAIGNS,
+    PINNED_SEED,
+    PINNED_TRANSACTIONS,
+    measure_campaign,
+    pinned_spec,
+    run_perf,
+)
+
+__all__ = [
+    "BENCH_FORMAT",
+    "FIRST_BENCH_ID",
+    "BenchFormatError",
+    "bench_path",
+    "compute_speedups",
+    "load_bench",
+    "next_bench_id",
+    "validate_bench",
+    "write_bench",
+    "PERF_CAMPAIGNS",
+    "PINNED_SEED",
+    "PINNED_TRANSACTIONS",
+    "measure_campaign",
+    "pinned_spec",
+    "run_perf",
+]

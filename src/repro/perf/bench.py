@@ -1,0 +1,208 @@
+"""Schema-versioned ``BENCH_<n>.json`` perf-trajectory artifacts.
+
+Every performance PR records the harness output (see
+:mod:`repro.perf.harness`) into ``BENCH_<n>.json`` at the repo root —
+``n`` is the PR number, so the sequence of files *is* the perf
+trajectory: later PRs show their delta against earlier files without
+re-running old code.  The format is versioned (``repro.bench/1``) and
+validated on both write and load, so a drifted writer fails loudly
+instead of producing files the trend tooling silently misreads.
+
+A bench file carries, per measured campaign: cell count, wall-clock,
+cells/sec, simulated-tx/sec, kernel events/sec, peak RSS, and the
+wall-clock of every individual cell.  When the harness was given a
+baseline file it also embeds the baseline's headline numbers and the
+computed speedups.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "BENCH_FORMAT",
+    "FIRST_BENCH_ID",
+    "BenchFormatError",
+    "bench_path",
+    "next_bench_id",
+    "validate_bench",
+    "write_bench",
+    "load_bench",
+    "compute_speedups",
+]
+
+#: Artifact format tag; bump when the layout changes.
+BENCH_FORMAT = "repro.bench/1"
+
+#: The first bench id ever assigned (the PR that introduced the
+#: harness); ids track PR numbers, not a dense sequence.
+FIRST_BENCH_ID = 7
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Required numeric fields of one campaign entry.
+_CAMPAIGN_FIELDS = (
+    "cells",
+    "transactions_total",
+    "events_total",
+    "wall_seconds",
+    "cells_per_sec",
+    "tx_per_sec",
+    "events_per_sec",
+    "peak_rss_kb",
+)
+
+
+class BenchFormatError(ValueError):
+    """A bench payload does not conform to ``repro.bench/1``."""
+
+
+def bench_path(root: Union[str, Path], bench_id: int) -> Path:
+    return Path(root) / f"BENCH_{bench_id}.json"
+
+
+def next_bench_id(root: Union[str, Path]) -> int:
+    """The next unused bench id under ``root`` (max existing + 1,
+    starting at :data:`FIRST_BENCH_ID`)."""
+    ids = [
+        int(m.group(1))
+        for p in Path(root).glob("BENCH_*.json")
+        if (m := _BENCH_NAME.match(p.name))
+    ]
+    return max(ids) + 1 if ids else FIRST_BENCH_ID
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchFormatError(message)
+
+
+def _check_campaign(name: str, entry: object) -> None:
+    _require(isinstance(entry, dict), f"campaign {name!r}: entry must be a dict")
+    for field in _CAMPAIGN_FIELDS:
+        _require(field in entry, f"campaign {name!r}: missing field {field!r}")
+        value = entry[field]
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"campaign {name!r}: field {field!r} must be numeric, got {value!r}",
+        )
+        _require(value >= 0, f"campaign {name!r}: field {field!r} must be >= 0")
+    _require(entry["cells"] >= 1, f"campaign {name!r}: needs at least one cell")
+    _require(entry["wall_seconds"] > 0, f"campaign {name!r}: wall_seconds must be > 0")
+    walls = entry.get("cell_walls")
+    _require(
+        isinstance(walls, dict) and walls,
+        f"campaign {name!r}: cell_walls must be a non-empty dict",
+    )
+    _require(
+        len(walls) == entry["cells"],
+        f"campaign {name!r}: cell_walls has {len(walls)} entries "
+        f"for {entry['cells']} cells",
+    )
+    for label, wall in walls.items():
+        _require(
+            isinstance(label, str)
+            and isinstance(wall, (int, float))
+            and not isinstance(wall, bool)
+            and wall >= 0,
+            f"campaign {name!r}: bad cell wall entry {label!r}: {wall!r}",
+        )
+
+
+def validate_bench(payload: Dict[str, object]) -> Dict[str, object]:
+    """Validate a bench payload against ``repro.bench/1``; returns it.
+
+    Raises :class:`BenchFormatError` naming the first offending field.
+    """
+    _require(isinstance(payload, dict), "bench payload must be a dict")
+    _require(
+        payload.get("format") == BENCH_FORMAT,
+        f"unsupported bench format {payload.get('format')!r} "
+        f"(expected {BENCH_FORMAT!r})",
+    )
+    bench_id = payload.get("bench_id")
+    _require(
+        isinstance(bench_id, int) and not isinstance(bench_id, bool) and bench_id >= 1,
+        f"bench_id must be a positive integer, got {bench_id!r}",
+    )
+    pinned = payload.get("pinned")
+    _require(isinstance(pinned, dict), "pinned must be a dict")
+    for field in ("transactions", "seed", "workers"):
+        _require(
+            isinstance(pinned.get(field), int)
+            and not isinstance(pinned.get(field), bool),
+            f"pinned.{field} must be an integer",
+        )
+    _require(pinned["workers"] >= 1, "pinned.workers must be >= 1")
+    campaigns = payload.get("campaigns")
+    _require(
+        isinstance(campaigns, dict) and campaigns,
+        "campaigns must be a non-empty dict",
+    )
+    for name, entry in campaigns.items():
+        _check_campaign(name, entry)
+    baseline = payload.get("baseline")
+    if baseline is not None:
+        _require(isinstance(baseline, dict), "baseline must be a dict")
+        base_campaigns = baseline.get("campaigns")
+        _require(
+            isinstance(base_campaigns, dict) and base_campaigns,
+            "baseline.campaigns must be a non-empty dict",
+        )
+    return payload
+
+
+def write_bench(
+    path: Union[str, Path], payload: Dict[str, object], force: bool = False
+) -> Path:
+    """Validate and write a bench file.
+
+    Refuses to overwrite an existing file unless ``force`` — a
+    ``BENCH_<n>.json`` is a historical record; clobbering one silently
+    would rewrite the trajectory.
+    """
+    path = Path(path)
+    validate_bench(payload)
+    if path.exists() and not force:
+        raise FileExistsError(
+            f"{path} already exists — bench files are append-only history; "
+            "pick the next bench id or pass force/--force to overwrite"
+        )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate a bench file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BenchFormatError(f"cannot read bench file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path}: not valid JSON ({exc})") from exc
+    return validate_bench(payload)
+
+
+def compute_speedups(
+    campaigns: Dict[str, dict], baseline_campaigns: Dict[str, dict]
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-campaign current/baseline ratios for the headline rates.
+
+    Ratios > 1 mean the current run is faster.  Campaigns absent from
+    the baseline are skipped; a zero baseline rate yields ``None``.
+    """
+    speedups: Dict[str, Dict[str, Optional[float]]] = {}
+    for name, entry in campaigns.items():
+        base = baseline_campaigns.get(name)
+        if base is None:
+            continue
+        ratios: Dict[str, Optional[float]] = {}
+        for field in ("cells_per_sec", "tx_per_sec", "events_per_sec"):
+            current = float(entry.get(field, 0.0))
+            reference = float(base.get(field, 0.0))
+            ratios[field] = (current / reference) if reference > 0 else None
+        speedups[name] = ratios
+    return speedups

@@ -45,7 +45,7 @@ from ..core.kernel import Signal
 from ..core.safety import CommitLog
 from ..db.server import DatabaseServer, WatermarkTracker
 from ..db.transactions import Outcome, Transaction, TransactionSpec
-from ..dbsm.marshal import CommitRequest, unmarshal_request
+from ..dbsm.marshal import CommitRequest, unmarshal_request_cached
 from ..dbsm.replica import REMOTE_APPLY_CPU_FACTOR, broadcast_commit_request
 from ..gcs.stack import GroupCommunication
 from .base import (
@@ -269,7 +269,7 @@ class PrimaryCopyReplica(ReplicationProtocol):
     def _on_deliver(self, global_seq: int, origin: int, payload: bytes) -> None:
         if self.crashed:
             return
-        request = unmarshal_request(payload)
+        request = unmarshal_request_cached(payload)
         # Total order *is* the commit order: every operational site
         # counts deliveries identically, no certification step.
         self._next_commit_seq += 1

@@ -68,7 +68,7 @@ axis overrides compose left to right: --set protocol=dbsm,primary-copy
 --transactions are sugar for the matching --set.
 """
 
-_SUBCOMMANDS = ("run", "list", "describe", "export", "report")
+_SUBCOMMANDS = ("run", "list", "describe", "export", "report", "perf")
 
 
 def _print_summary(campaign: CampaignResult) -> None:
@@ -198,6 +198,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
             fmt=args.format,
         )
     )
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    # heavy path, load on use
+    from ..perf import PERF_CAMPAIGNS, PINNED_SEED, PINNED_TRANSACTIONS, run_perf
+
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    try:
+        payload, path = run_perf(
+            campaigns=tuple(args.campaign) if args.campaign else PERF_CAMPAIGNS,
+            transactions=(
+                args.transactions
+                if args.transactions is not None
+                else PINNED_TRANSACTIONS
+            ),
+            seed=args.seed if args.seed is not None else PINNED_SEED,
+            bench_id=args.bench_id,
+            output=args.output,
+            baseline=args.baseline,
+            artifact_root=args.artifact_dir,
+            force=args.force,
+            progress=progress,
+            workers=args.workers,
+        )
+    except FileExistsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name, entry in payload["campaigns"].items():
+        print(
+            f"{name}: {entry['cells']} cells in {entry['wall_seconds']:.1f}s "
+            f"= {entry['cells_per_sec']:.3f} cells/s, "
+            f"{entry['tx_per_sec']:.0f} tx/s, "
+            f"{entry['events_per_sec']:.0f} events/s, "
+            f"peak RSS {entry['peak_rss_kb']} KB"
+        )
+    for name, ratios in (payload.get("speedup") or {}).items():
+        cells_ratio = ratios.get("cells_per_sec")
+        if cells_ratio is not None:
+            print(f"{name}: {cells_ratio:.2f}x cells/s vs baseline")
+    if path is not None:
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -361,6 +403,75 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output encoding (default: text)",
     )
     report_p.set_defaults(func=_cmd_report)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="measure the simulator over pinned campaigns and record a "
+        "BENCH_<n>.json perf-trajectory file",
+    )
+    perf_p.add_argument(
+        "--campaign",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registered campaign to measure (repeatable; "
+        "default: smoke and fig5)",
+    )
+    perf_p.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="pinned per-cell transaction count (default: 600)",
+    )
+    perf_p.add_argument(
+        "--seed", type=int, default=None, help="pinned seed (default: 42)"
+    )
+    perf_p.add_argument(
+        "--bench-id",
+        type=int,
+        default=None,
+        metavar="N",
+        help="id for BENCH_<N>.json (default: next unused in the "
+        "output directory, PR-number convention)",
+    )
+    perf_p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="bench file path (default: BENCH_<id>.json in the current "
+        "directory)",
+    )
+    perf_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="prior bench file to embed and compute speedups against",
+    )
+    perf_p.add_argument(
+        "--artifact-dir",
+        default=None,
+        metavar="DIR",
+        help="also save the measured cell results as campaign artifacts "
+        "under DIR/perf-<campaign> (report-able; never loaded back)",
+    )
+    perf_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per campaign (default: REPRO_WORKERS, "
+        "else 1); recorded in the bench file's pinned section",
+    )
+    perf_p.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing bench file",
+    )
+    perf_p.add_argument(
+        "--quiet", action="store_true", help="no per-cell progress lines"
+    )
+    perf_p.set_defaults(func=_cmd_perf)
     return parser
 
 

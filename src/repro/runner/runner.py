@@ -13,11 +13,11 @@
   ``ProcessPoolExecutor``; results cross the process boundary as
   ``ScenarioResult.to_dict()`` payloads.
 
-Determinism: every scenario is seeded solely by its config, so the same
-cell produces identical metrics whichever source executed it.  (The one
-exception is ``TxRecord.tx_id`` / commit-log transaction ids, which come
-from a process-global counter — as already documented by the determinism
-tests; nothing derived from a result depends on them.)
+Determinism: every scenario is seeded solely by its config, and
+:class:`~repro.core.experiment.Scenario` restarts the transaction-id
+stream, so the same cell produces bit-identical results — transaction
+ids included — whichever source executed it and whatever ran in the
+process beforehand.
 
 Failures are isolated: an exception inside one cell — config error,
 simulation bug, even a worker process dying — is recorded on that cell

@@ -60,6 +60,30 @@ class TestScheduling:
         assert fired == []
         assert sim.pending() == 0
 
+    def test_cancel_heavy_load_keeps_heap_bounded(self):
+        """Lazy deletion must not bloat the queue: a schedule/cancel loop
+        (the retransmit-timer pattern) triggers compaction, so the heap
+        stays proportional to the *live* events, not to history."""
+        sim = Simulator()
+        keeper = sim.schedule(1e9, lambda: None)
+        for _ in range(10_000):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert len(sim._queue) < 1_000
+        assert sim.pending() == 1
+        sim.run(until=2.0)
+        assert not keeper.cancelled
+
+    def test_compaction_preserves_order_and_live_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(50):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        # Cancel enough interleaved events to force several compactions.
+        for _ in range(400):
+            sim.schedule(5.0, fired.append, -1).cancel()
+        sim.run()
+        assert fired == list(range(50))
+
     def test_zero_delay_runs_after_queued_events_at_same_instant(self):
         sim = Simulator()
         order = []

@@ -12,6 +12,8 @@ from repro.gcs.messages import (
     ProposeMsg,
     SequenceMsg,
     StabilityMsg,
+    StateMsg,
+    StateReqMsg,
     marshal,
     unmarshal,
 )
@@ -39,12 +41,45 @@ ROUNDTRIP_CASES = [
         contiguous=((0, 10), (1, 5)),
         assignments=((3, 1, 2),),
     ),
+    FlushAckMsg(
+        sender=2,
+        view_id=9,
+        contiguous=((0, 0),),
+        assignments=(),
+        pending=((1, 6), (1, 7), (2, 3)),
+    ),
     DecideMsg(
         sender=0,
         view_id=4,
         members=(0, 1),
         targets=((0, 10), (1, 7)),
         assignments=((1, 0, 1), (2, 1, 1)),
+    ),
+    DecideMsg(
+        sender=1,
+        view_id=5,
+        members=(0, 1, 3),
+        targets=(),
+        assignments=(),
+        pending=((0, 11), (1, 8)),
+        joined=(3,),
+    ),
+    StateReqMsg(sender=3, view_id=5),
+    StateMsg(
+        sender=0,
+        view_id=5,
+        snapshot_id=2,
+        frag_index=1,
+        frag_count=3,
+        payload=b"\x00snapshot-bytes\xff",
+    ),
+    StateMsg(
+        sender=1,
+        view_id=6,
+        snapshot_id=0,
+        frag_index=0,
+        frag_count=1,
+        payload=b"",
     ),
 ]
 
@@ -58,6 +93,22 @@ class TestRoundtrip:
         payload = bytes(range(256)) * 8
         msg = DataMsg(1, 1, 1, payload)
         assert unmarshal(marshal(msg)).payload == payload
+
+    def test_every_message_type_has_a_case(self):
+        """A message class added to the wire format must land here too."""
+        import dataclasses
+        import repro.gcs.messages as messages
+
+        wire_types = {
+            obj
+            for obj in vars(messages).values()
+            if dataclasses.is_dataclass(obj) and hasattr(obj, "msg_type")
+        }
+        covered = {type(m) for m in ROUNDTRIP_CASES}
+        assert covered == wire_types, (
+            f"missing roundtrip cases for "
+            f"{sorted(t.__name__ for t in wire_types - covered)}"
+        )
 
 
 class TestErrors:

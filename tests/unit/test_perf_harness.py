@@ -1,0 +1,214 @@
+"""Unit tests for the performance-trajectory harness and bench format."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_FORMAT,
+    FIRST_BENCH_ID,
+    BenchFormatError,
+    bench_path,
+    compute_speedups,
+    load_bench,
+    next_bench_id,
+    validate_bench,
+    write_bench,
+)
+from repro.perf.harness import (
+    PERF_CAMPAIGNS,
+    PINNED_SEED,
+    PINNED_TRANSACTIONS,
+    measure_campaign,
+    pinned_spec,
+    run_perf,
+)
+from repro.runner.store import ArtifactStore
+
+#: Small enough to keep the suite fast, big enough to exercise every
+#: cell of the smoke campaign (including the recovery fault-load).
+_TX = 20
+
+
+def _minimal_payload(bench_id=7):
+    return {
+        "format": BENCH_FORMAT,
+        "bench_id": bench_id,
+        "pinned": {"transactions": _TX, "seed": PINNED_SEED, "workers": 1},
+        "campaigns": {
+            "smoke": {
+                "cells": 2,
+                "transactions_total": 40,
+                "events_total": 1000,
+                "wall_seconds": 0.5,
+                "cells_per_sec": 4.0,
+                "tx_per_sec": 80.0,
+                "events_per_sec": 2000.0,
+                "peak_rss_kb": 50_000,
+                "cell_walls": {"a": 0.2, "b": 0.3},
+            }
+        },
+    }
+
+
+class TestBenchSchema:
+    def test_minimal_payload_validates(self):
+        payload = _minimal_payload()
+        assert validate_bench(payload) is payload
+
+    def test_write_load_roundtrip(self, tmp_path):
+        payload = _minimal_payload()
+        path = write_bench(tmp_path / "BENCH_7.json", payload)
+        assert load_bench(path) == payload
+
+    def test_overwrite_refused_without_force(self, tmp_path):
+        path = tmp_path / "BENCH_7.json"
+        write_bench(path, _minimal_payload())
+        with pytest.raises(FileExistsError):
+            write_bench(path, _minimal_payload())
+        # force=True is the explicit opt-out of append-only history.
+        write_bench(path, _minimal_payload(), force=True)
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.update(format="repro.bench/0"), "unsupported bench format"),
+            (lambda p: p.update(bench_id=0), "bench_id"),
+            (lambda p: p.update(bench_id=True), "bench_id"),
+            (lambda p: p["pinned"].update(workers=0), "pinned.workers"),
+            (lambda p: p["pinned"].update(workers=True), "pinned.workers"),
+            (lambda p: p["pinned"].pop("seed"), "pinned.seed"),
+            (lambda p: p.update(campaigns={}), "campaigns"),
+            (
+                lambda p: p["campaigns"]["smoke"].pop("events_total"),
+                "events_total",
+            ),
+            (
+                lambda p: p["campaigns"]["smoke"].update(wall_seconds=0),
+                "wall_seconds",
+            ),
+            (
+                lambda p: p["campaigns"]["smoke"].update(cell_walls={"a": 0.2}),
+                "cell_walls",
+            ),
+        ],
+    )
+    def test_malformed_payload_rejected(self, mutate, message):
+        payload = _minimal_payload()
+        mutate(payload)
+        with pytest.raises(BenchFormatError, match=message):
+            validate_bench(payload)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchFormatError):
+            load_bench(path)
+
+    def test_next_bench_id(self, tmp_path):
+        assert next_bench_id(tmp_path) == FIRST_BENCH_ID
+        write_bench(bench_path(tmp_path, 7), _minimal_payload(7))
+        write_bench(bench_path(tmp_path, 12), _minimal_payload(12))
+        (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not an id
+        assert next_bench_id(tmp_path) == 13
+
+    def test_compute_speedups(self):
+        current = _minimal_payload()["campaigns"]
+        base = json.loads(json.dumps(current))
+        base["smoke"]["cells_per_sec"] = 2.0
+        speedups = compute_speedups(current, base)
+        assert speedups["smoke"]["cells_per_sec"] == pytest.approx(2.0)
+        # Campaigns missing from the baseline are skipped, not errors.
+        assert compute_speedups(current, {}) == {}
+
+
+class TestPinnedCampaigns:
+    def test_pinned_spec_is_deterministic(self):
+        for name in PERF_CAMPAIGNS:
+            first = pinned_spec(name, _TX, PINNED_SEED).expand()
+            second = pinned_spec(name, _TX, PINNED_SEED).expand()
+            assert [label for label, _ in first] == [label for label, _ in second]
+            assert [cfg.to_dict() for _, cfg in first] == [
+                cfg.to_dict() for _, cfg in second
+            ]
+            assert len(first) >= 1
+
+    def test_pinned_axes_applied(self):
+        cells = pinned_spec("smoke", _TX, PINNED_SEED).expand()
+        assert all(cfg.transactions == _TX for _, cfg in cells)
+
+    def test_defaults_are_the_pinned_constants(self):
+        spec = pinned_spec("fig5")
+        axes = {axis.name: axis.values for axis in spec.axes}
+        assert axes["transactions"] == (PINNED_TRANSACTIONS,)
+        assert axes["seed"] == (PINNED_SEED,)
+
+
+class TestHarness:
+    def test_run_perf_payload_without_writing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        payload, path = run_perf(
+            campaigns=("smoke",), transactions=_TX, output="", workers=1
+        )
+        assert path is None
+        assert not list(tmp_path.glob("BENCH_*.json"))
+        validate_bench(payload)
+        assert payload["pinned"] == {
+            "transactions": _TX,
+            "seed": PINNED_SEED,
+            "workers": 1,
+        }
+        entry = payload["campaigns"]["smoke"]
+        assert entry["cells"] == len(entry["cell_walls"])
+        assert entry["transactions_total"] > 0
+        assert entry["events_total"] > 0
+
+    def test_run_perf_embeds_baseline_speedups(self, tmp_path):
+        first, _ = run_perf(
+            campaigns=("smoke",), transactions=_TX, bench_id=7,
+            output="", workers=1,
+        )
+        second, written = run_perf(
+            campaigns=("smoke",), transactions=_TX, bench_id=8,
+            output=tmp_path / "BENCH_8.json", baseline=first, workers=1,
+        )
+        assert written == tmp_path / "BENCH_8.json"
+        assert second["baseline"]["bench_id"] == 7
+        smoke = second["speedup"]["smoke"]
+        assert set(smoke) >= {"cells_per_sec", "tx_per_sec", "events_per_sec"}
+        assert all(v > 0 for v in smoke.values() if v is not None)
+        assert load_bench(written) == second
+
+
+def _artifact_dicts(store: ArtifactStore):
+    """label -> stored result payload for every cell artifact."""
+    results = {}
+    for path in store.root.glob("*.json"):
+        if path.name == "campaign.json":
+            continue
+        data = json.loads(path.read_text())
+        results[data["label"]] = data["result"]
+    return results
+
+
+class TestPoolDeterminism:
+    def test_sequential_and_pool_results_bit_identical(self, tmp_path):
+        """The optimized kernel must produce the same ScenarioResults —
+        including transaction ids, metric records, and resource samples
+        — whether cells run in-process or in a worker pool."""
+        seq_store = ArtifactStore(tmp_path / "seq")
+        pool_store = ArtifactStore(tmp_path / "pool")
+        seq = measure_campaign(
+            "smoke", transactions=_TX, store=seq_store, workers=1
+        )
+        pooled = measure_campaign(
+            "smoke", transactions=_TX, store=pool_store, workers=2
+        )
+        assert seq["cells"] == pooled["cells"]
+        assert seq["transactions_total"] == pooled["transactions_total"]
+        assert seq["events_total"] == pooled["events_total"]
+        seq_results = _artifact_dicts(seq_store)
+        pool_results = _artifact_dicts(pool_store)
+        assert seq_results.keys() == pool_results.keys()
+        for label in seq_results:
+            assert seq_results[label] == pool_results[label], label
