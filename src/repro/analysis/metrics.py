@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.experiment import ScenarioResult
 from ..core.metrics import quantiles
+from ..monitors import resolve_monitors
 
 __all__ = [
     "HEADLINE_METRICS",
@@ -199,6 +200,27 @@ def _sampled(
     return extract
 
 
+def _violations(result: ScenarioResult) -> float:
+    # NaN (not 0) when the cell ran without monitors: "nothing was
+    # checked" must render as a dash, never as a clean zero.
+    if not result.config.monitors:
+        return math.nan
+    return float(len(result.violations))
+
+
+def _violations_for(monitor: str) -> Callable[[ScenarioResult], float]:
+    def extract(result: ScenarioResult) -> float:
+        if not result.config.monitors:
+            return math.nan
+        if monitor not in resolve_monitors(result.config.monitors):
+            return math.nan
+        return float(
+            sum(1 for v in result.violations if v.monitor == monitor)
+        )
+
+    return extract
+
+
 def _rejoins(
     f: Callable[[Sequence], float]
 ) -> Callable[[ScenarioResult], float]:
@@ -363,6 +385,13 @@ for _metric in (
         lambda r: float(r.sim_time),
         "{:.1f}",
     ),
+    Metric(
+        "violations",
+        "count",
+        "invariant violations flagged by the enabled runtime monitors",
+        _violations,
+        "{:.0f}",
+    ),
 ):
     register_metric(_metric)
 
@@ -372,4 +401,12 @@ register_metric_family(
     "aborted fraction of one transaction class",
     _abort_rate_for,
     fmt="{:.2f}",
+)
+
+register_metric_family(
+    "violations",
+    "count",
+    "invariant violations flagged by one runtime monitor",
+    _violations_for,
+    fmt="{:.0f}",
 )

@@ -15,6 +15,8 @@ scaled paper count) and sweeps only the default protocol; the CLI's
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..core.scenarios import CLIENT_LEVELS, SYSTEM_CONFIGS, safety_fault_plans
 from .registry import register_campaign
 from .spec import DEFAULT_PROTOCOL, CampaignSpec
@@ -157,11 +159,29 @@ def _safety_spec() -> CampaignSpec:
     )
 
 
+def _safety_monitored_spec() -> CampaignSpec:
+    # The safety matrix, re-run with every runtime invariant monitor
+    # wired into the event path (a ``monitors`` axis on top of the
+    # ``safety`` spec, which stays byte-identical for legacy parity).
+    # Clean protocol code must come back with zero violations on every
+    # cell; CI asserts exactly that over the artifact store.
+    return replace(
+        _safety_spec().with_axis("monitors", ("all",)),
+        name="safety-monitored",
+        description=(
+            "the §5.3 safety matrix with all runtime invariant monitors "
+            "enabled: online 1SR, view synchrony, primary component and "
+            "GCS ordering checks over every fault-load"
+        ),
+    )
+
+
 for _build in (
     _smoke_spec,
     _fig5_spec,
     _fig7_spec,
     _recovery_spec,
     _safety_spec,
+    _safety_monitored_spec,
 ):
     register_campaign(_build())

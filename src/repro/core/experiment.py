@@ -30,6 +30,7 @@ from ..db.transactions import reset_tx_counter
 from ..gcs.config import GcsConfig
 from ..gcs.stack import GroupCommunication
 from ..gcs.statetransfer import RecoveryEvent
+from ..monitors import InvariantViolation, build_hub, resolve_monitors
 from ..net.address import Endpoint, GroupAddress
 from ..net.capture import PacketCapture
 from ..net.network import Network
@@ -76,6 +77,12 @@ class ScenarioConfig:
     #: (``sites > 1``); see :mod:`repro.protocols`.  Centralized
     #: baselines ignore it.
     protocol: str = "dbsm"
+    #: Runtime invariant monitors wired into the event path (names from
+    #: :mod:`repro.monitors`, or ``"all"``).  Empty — the default —
+    #: means monitoring is off and the run is bit-identical to the
+    #: pre-monitor code path; centralized baselines ignore it like
+    #: they ignore ``protocol``.
+    monitors: Tuple[str, ...] = ()
     profiles: Optional[ProfileSet] = None
     gcs: GcsConfig = field(default_factory=GcsConfig)
     #: Site index -> fault plan (sites without an entry run fault-free).
@@ -104,6 +111,12 @@ class ScenarioConfig:
             raise ValueError("transactions must be positive")
         if not self.protocol or not isinstance(self.protocol, str):
             raise ValueError("protocol must be a non-empty protocol name")
+        if isinstance(self.monitors, str):
+            self.monitors = (self.monitors,)
+        else:
+            self.monitors = tuple(self.monitors)
+        if self.monitors:
+            resolve_monitors(self.monitors)  # unknown names fail here
 
     # ------------------------------------------------------------------
     # serialization (runner artifacts, resume-matching)
@@ -133,6 +146,8 @@ class ScenarioConfig:
                 data[f.name] = {
                     str(site): plan.to_dict() for site, plan in value.items()
                 }
+            elif f.name == "monitors":
+                data[f.name] = list(value)
             else:
                 data[f.name] = value
         return data
@@ -192,6 +207,7 @@ class ScenarioResult:
         capture: PacketCapture,
         sites: List[Site],
         sim_time: float,
+        violations: Optional[List[InvariantViolation]] = None,
     ):
         self.config = config
         self.metrics = metrics
@@ -199,6 +215,10 @@ class ScenarioResult:
         self.capture = capture
         self.sites = sites
         self.sim_time = sim_time
+        #: Invariant breaches recorded by the run's monitors (empty when
+        #: monitoring is off *or* every enabled monitor stayed quiet —
+        #: the ``violations`` metric distinguishes the two).
+        self.violations: List[InvariantViolation] = list(violations or [])
         self._commit_logs: List[CommitLog] = [
             s.replica.commit_log for s in sites if s.replica is not None
         ]
@@ -289,6 +309,7 @@ class ScenarioResult:
             "commit_logs": [log.to_dict() for log in self._commit_logs],
             "site_stats": self.site_stats,
             "recovery": [event.to_dict() for event in self.recovery_events],
+            "violations": [v.to_dict() for v in self.violations],
         }
 
     @classmethod
@@ -318,6 +339,9 @@ class ScenarioResult:
         result.recovery_events = [
             RecoveryEvent.from_dict(event) for event in data.get("recovery", [])
         ]
+        result.violations = [
+            InvariantViolation.from_dict(v) for v in data.get("violations", [])
+        ]
         return result
 
 
@@ -343,6 +367,9 @@ class Scenario:
         self.sites: List[Site] = []
         self._group = GroupAddress("dbsm", _GROUP_PORT)
         self._protocol_group = ProtocolGroup()
+        #: Runtime invariant monitors (None when disabled): observe-only
+        #: probes on the event path, zero footprint when off.
+        self.monitors = build_hub(config, lambda: self.sim.now)
         self._build_sites()
         self._schedule_partitions()
         self.sampler = ResourceSampler(
@@ -483,6 +510,12 @@ class Scenario:
         site.gcs = gcs
         site.replica = replica
         site.injector = injector
+        if self.monitors is not None:
+            probe = self.monitors.bind_site(index, f"site{index}", gcs)
+            replica.monitor = probe
+            gcs.monitor = probe
+            gcs.total_order.monitor = probe
+            gcs.views.monitor = probe
         gcs.on_live = lambda: self._site_live(site)
         gcs.on_excluded = lambda: self._excluded_site(site)
         if plan.crash_at is not None:
@@ -596,6 +629,9 @@ class Scenario:
             self.capture,
             self.sites,
             self.sim.now,
+            violations=(
+                self.monitors.finish() if self.monitors is not None else None
+            ),
         )
 
     def _probe(self) -> None:

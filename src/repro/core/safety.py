@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["CommitLog", "SafetyViolation", "check_consistency"]
+__all__ = [
+    "CommitLog",
+    "SafetyViolation",
+    "check_consistency",
+    "describe_divergence",
+]
 
 
 @dataclass
@@ -87,11 +92,18 @@ def check_consistency(logs: Sequence[CommitLog]) -> Dict[str, int]:
     return {log.site: len(log.entries) for log in logs}
 
 
-def _diff(
+def describe_divergence(
     a: Tuple[Tuple[int, int], ...], b: Tuple[Tuple[int, int], ...]
 ) -> str:
-    """Human-readable first divergence between two commit sequences."""
+    """Human-readable first divergence between two commit sequences.
+
+    Shared by the post-hoc check above and the streaming
+    ``one-copy-sr`` monitor (:mod:`repro.monitors.serializability`), so
+    both report a disagreement in the same vocabulary."""
     for i, (ea, eb) in enumerate(zip(a, b)):
         if ea != eb:
             return f"first divergence at index {i}: {ea} vs {eb}"
     return f"length mismatch: {len(a)} vs {len(b)}"
+
+
+_diff = describe_divergence

@@ -159,7 +159,7 @@ class Replica(ReplicationProtocol):
         request = unmarshal_request_cached(payload)
         committed, commit_seq = self.certifier.certify(request)
         if committed:
-            self.commit_log.append(commit_seq, request.tx_id)
+            self.log_commit(commit_seq, request.tx_id)
         if request.origin == self.site_id:
             self._resolve_local(request, committed, commit_seq)
         elif committed:

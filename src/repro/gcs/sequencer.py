@@ -68,6 +68,8 @@ class TotalOrder:
         self.gated = False
         self._batch: List[Tuple[int, int, int]] = []
         self._batch_timer_armed = False
+        #: Invariant-monitoring probe (observe-only; None when off).
+        self.monitor = None
         self.stats = {
             "to_delivered": 0,
             "sequence_msgs": 0,
@@ -172,6 +174,8 @@ class TotalOrder:
             global_seq = self._next_deliver
             self._next_deliver += 1
             self.stats["to_delivered"] += 1
+            if self.monitor is not None:
+                self.monitor.ordered(global_seq, key[0], key[1])
             if self.on_to_deliver is not None:
                 self.on_to_deliver(global_seq, key[0], key[1], payload)
 

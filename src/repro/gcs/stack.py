@@ -100,6 +100,8 @@ class GroupCommunication:
         self.transfer.on_live = self._on_live
         #: Application callback: (global_seq, origin, payload).
         self.on_deliver: Optional[Deliver] = None
+        #: Invariant-monitoring probe (observe-only; None when off).
+        self.monitor = None
         #: Application callback: (view_id, members).
         self.on_view_change: Optional[ViewChange] = None
         #: Replication-protocol hooks for state transfer: the provider
@@ -298,6 +300,8 @@ class GroupCommunication:
 
     def _deliver(self, global_seq: int, origin: int, payload: bytes) -> None:
         self.stats["delivered"] += 1
+        if self.monitor is not None:
+            self.monitor.deliver(global_seq, origin)
         if self.on_deliver is not None:
             self.on_deliver(global_seq, origin, payload)
 

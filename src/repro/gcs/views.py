@@ -108,6 +108,8 @@ class ViewManager:
         #: be (re)admitted with empty state.
         self._heard_view: Dict[int, int] = {}
         self._silent_until = 0.0
+        #: Invariant-monitoring probe (observe-only; None when off).
+        self.monitor = None
         # coordinator-side proposal state
         self._proposal_view = 0
         self._proposal_members: Tuple[int, ...] = ()
@@ -481,6 +483,14 @@ class ViewManager:
         if not self.blocked:
             self.reliable.thaw()
         self.stats["view_changes"] += 1
+        if self.monitor is not None:
+            self.monitor.view(
+                self.view_id,
+                self.members,
+                joined,
+                targets,
+                self.reliable.contiguous_vector(),
+            )
         if self.on_view_change is not None:
             self.on_view_change(self.view_id, self.members, joined)
 

@@ -1,0 +1,77 @@
+"""Always-on runtime invariant monitors (online §5.3 / §3.4 checking).
+
+A registry of cheap observe-only monitors wired into the scenario
+event path, selected per cell by ``ScenarioConfig.monitors`` (monitor
+names, or ``"all"``):
+
+* ``one-copy-sr`` — streaming one-copy-serializability certifier:
+  cross-site commit-sequence agreement checked at delivery time,
+  crash-prefix aware like :func:`repro.core.safety.check_consistency`;
+* ``view-synchrony`` — same-view members agree on membership and hold
+  the same message set before a view change; no delivery from departed
+  members beyond their flush targets;
+* ``primary-component`` — at most one partition commits: every view
+  carries a majority of its predecessor, and nothing commits while
+  blocked or outside the primary lineage;
+* ``gcs-ordering`` — FIFO and total-order delivery checks on the GCS
+  stack, including cross-site agreement on every global number.
+
+Violations are recorded as :class:`InvariantViolation` artifacts on
+the :class:`~repro.core.experiment.ScenarioResult` (the ``violations``
+metric in the analysis registry).  Disabled monitoring is free: every
+production hook is ``if <probe> is not None``-guarded, so results are
+bit-identical with monitors off.
+"""
+
+from .base import (
+    ALL_MONITORS,
+    InvariantViolation,
+    Monitor,
+    MonitorHub,
+    SiteProbe,
+    available_monitors,
+    build_monitor,
+    register_monitor,
+    resolve_monitors,
+)
+
+# Importing the implementation modules registers the built-ins, in the
+# order the docs table lists them.
+from .serializability import OneCopySerializability
+from .viewsync import ViewSynchrony
+from .primary import PrimaryComponent
+from .ordering import GcsOrdering
+
+__all__ = [
+    "ALL_MONITORS",
+    "InvariantViolation",
+    "Monitor",
+    "MonitorHub",
+    "SiteProbe",
+    "OneCopySerializability",
+    "ViewSynchrony",
+    "PrimaryComponent",
+    "GcsOrdering",
+    "available_monitors",
+    "build_hub",
+    "build_monitor",
+    "register_monitor",
+    "resolve_monitors",
+]
+
+
+def build_hub(config, clock) -> "MonitorHub | None":
+    """The run's :class:`MonitorHub`, or None when monitoring is off.
+
+    Centralized baselines (``sites == 1``) have no replication layer to
+    observe and run without a hub whatever ``config.monitors`` says —
+    mirroring how they ignore ``config.protocol``.
+    """
+    if not config.monitors or config.sites < 2:
+        return None
+    names = resolve_monitors(config.monitors)
+    if not names:
+        return None
+    return MonitorHub(
+        [build_monitor(name) for name in names], config.sites, clock
+    )

@@ -1,0 +1,140 @@
+"""Streaming one-copy-serializability certifier (§5.3, online).
+
+The post-hoc :func:`repro.core.safety.check_consistency` condition,
+maintained incrementally: every operational site must commit exactly
+the same ``(commit_seq, tx_id)`` sequence, sites whose commit log is
+non-operational (crashed, or mid-rejoin) only a *prefix* of it.
+
+The monitor mirrors each site's commit log as decisions stream in and
+compares every new entry against the other sites' logs at the same
+position — so a disagreement is *detected* at the delivery that causes
+it, and the violation artifact carries that simulated instant.
+Confirmation is deferred to ``finalize()``: a minority partition may
+legitimately commit a short divergent window before the group excludes
+it, and those entries are wiped (and counted as *orphaned commits* by
+the recovery metrics) when the site rejoins via state transfer — the
+post-hoc check never sees them, and neither does this monitor's
+verdict.  At end of run the recorded logs are checked with exactly the
+:func:`check_consistency` rules, so the two certifiers agree verdict
+for verdict (the property suite asserts this on randomized
+interleavings); confirmed violations are stamped with the earliest
+detection instant involving the offending site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.safety import describe_divergence
+from .base import Monitor, register_monitor
+
+__all__ = ["OneCopySerializability"]
+
+
+class OneCopySerializability(Monitor):
+    """Cross-site commit-sequence agreement, crash-prefix aware."""
+
+    name = "one-copy-sr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: site -> mirrored commit log, in decision order.
+        self._logs: Dict[int, List[Tuple[int, int]]] = {}
+        #: sites whose log is currently non-operational (crashed or
+        #: mid-rejoin) — mirrors ``CommitLog.crashed`` exactly.
+        self._crashed: Set[int] = set()
+        #: (site_a, site_b) -> (sim_time, index) of the first observed
+        #: disagreement between the pair (detection timestamps only;
+        #: the verdict comes from the final logs).
+        self._first_conflict: Dict[Tuple[int, int], Tuple[float, int]] = {}
+
+    # -- streaming observation ------------------------------------------
+    def on_commit(self, site: int, commit_seq: int, tx_id: int) -> None:
+        entry = (commit_seq, tx_id)
+        log = self._logs.setdefault(site, [])
+        index = len(log)
+        log.append(entry)
+        for other, other_log in self._logs.items():
+            if other == site or len(other_log) <= index:
+                continue
+            if other_log[index] != entry:
+                pair = (site, other) if site < other else (other, site)
+                if pair not in self._first_conflict:
+                    self._first_conflict[pair] = (self._now(), index)
+
+    def on_crash(self, site: int) -> None:
+        self._crashed.add(site)
+
+    def on_rejoin(self, site: int) -> None:
+        # Entries are kept for orphan accounting but the log counts as
+        # non-operational until the snapshot installs.
+        self._crashed.add(site)
+
+    def on_snapshot_install(
+        self, site: int, entries: Sequence[Tuple[int, int]]
+    ) -> None:
+        self._logs[site] = [tuple(entry) for entry in entries]
+        self._crashed.discard(site)
+
+    # -- verdict ---------------------------------------------------------
+    def finalize(self) -> None:
+        sites = sorted(set(self._names) | set(self._logs))
+        logs = {site: tuple(self._logs.get(site, ())) for site in sites}
+        operational = [site for site in sites if site not in self._crashed]
+        if not operational:
+            return
+        ref_site = operational[0]
+        reference = logs[ref_site]
+        for site in operational[1:]:
+            if logs[site] != reference:
+                self._emit_divergence(
+                    site,
+                    f"committed a different sequence than "
+                    f"{self.site_name(ref_site)}: "
+                    f"{describe_divergence(reference, logs[site])}",
+                    reference,
+                    logs[site],
+                )
+        for site in sites:
+            if site not in self._crashed:
+                continue
+            seq = logs[site]
+            if seq != reference[: len(seq)]:
+                self._emit_divergence(
+                    site,
+                    f"non-operational log is not a prefix of the agreed "
+                    f"sequence: "
+                    f"{describe_divergence(reference[: len(seq)], seq)}",
+                    reference,
+                    seq,
+                )
+
+    def _emit_divergence(
+        self,
+        site: int,
+        detail: str,
+        reference: Tuple[Tuple[int, int], ...],
+        log: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        detected = min(
+            (
+                record
+                for pair, record in self._first_conflict.items()
+                if site in pair
+            ),
+            default=None,
+        )
+        index = next(
+            (i for i, (a, b) in enumerate(zip(reference, log)) if a != b),
+            min(len(reference), len(log)),
+        )
+        seq = log[index][0] if index < len(log) else -1
+        self.emit(
+            site,
+            detail,
+            seq=seq,
+            sim_time=None if detected is None else detected[0],
+        )
+
+
+register_monitor("one-copy-sr", OneCopySerializability)

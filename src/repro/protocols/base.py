@@ -84,6 +84,13 @@ class ReplicationProtocol(TerminationProtocol):
     #: The site's :class:`~repro.core.csrt.SiteRuntime` (typed loosely
     #: to keep this module import-light).
     runtime: Any
+    #: The site's :class:`~repro.monitors.base.SiteProbe` when runtime
+    #: invariant monitoring is enabled, else None.  Every protocol gets
+    #: monitored through this one binding: commits must flow through
+    #: :meth:`log_commit` and the base class notifies the lifecycle
+    #: events (crash / rejoin / snapshot install) itself, so a new
+    #: protocol is covered without writing any monitor code.
+    monitor: Any = None
 
     # ------------------------------------------------------------------
     def client_submit(self, spec: TransactionSpec, on_done: OnDone) -> None:
@@ -103,6 +110,17 @@ class ReplicationProtocol(TerminationProtocol):
         self.crashed = True
         self.commit_log.crashed = True
         self.runtime.crash()
+        if self.monitor is not None:
+            self.monitor.crash()
+
+    def log_commit(self, commit_seq: int, tx_id: int) -> None:
+        """Record one commit decision (the §5.3 log) and notify the
+        site's monitor probe.  Protocols append through here, never
+        directly to ``commit_log``, so the streaming certifier sees
+        every decision the post-hoc check would."""
+        self.commit_log.append(commit_seq, tx_id)
+        if self.monitor is not None:
+            self.monitor.commit(commit_seq, tx_id)
 
     def protocol_stats(self) -> Dict[str, int]:
         """Flat per-site protocol counters for
@@ -125,6 +143,8 @@ class ReplicationProtocol(TerminationProtocol):
         self.live = False
         self.commit_log.crashed = True
         self.reset_protocol_state(was_crashed)
+        if self.monitor is not None:
+            self.monitor.rejoin()
 
     def reset_protocol_state(self, was_crashed: bool) -> None:
         """Drop in-flight protocol state a restarted process would not
@@ -161,6 +181,8 @@ class ReplicationProtocol(TerminationProtocol):
         self.commit_log.crashed = False
         self.install_protocol_snapshot(snap)
         self.live = True
+        if self.monitor is not None:
+            self.monitor.snapshot(adopted)
         return orphans
 
     def protocol_snapshot(self) -> Dict[str, object]:

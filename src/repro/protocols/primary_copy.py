@@ -275,7 +275,7 @@ class PrimaryCopyReplica(ReplicationProtocol):
         self._next_commit_seq += 1
         commit_seq = self._next_commit_seq
         self.stats["sequenced"] += 1
-        self.commit_log.append(commit_seq, request.tx_id)
+        self.log_commit(commit_seq, request.tx_id)
         if request.origin == self.site_id:
             self._resolve_local(request, commit_seq)
         else:

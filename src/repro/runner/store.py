@@ -89,6 +89,10 @@ class ArtifactStore:
                 # key so they keep matching instead of being recomputed.
                 stored_config = dict(stored_config)
                 stored_config.setdefault("protocol", "dbsm")
+                # Likewise for the monitors field: older artifacts ran
+                # with monitoring off (and off is bit-identical, so the
+                # stored result is still the right answer).
+                stored_config.setdefault("monitors", [])
             if stored_config != config.to_dict():
                 return None
             return ScenarioResult.from_dict(data["result"])

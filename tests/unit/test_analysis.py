@@ -128,11 +128,22 @@ class TestRegistry:
         for name in available_metrics():
             value = metric_value(smoke_result, name)
             assert isinstance(value, float), name
-        # parameterized families resolve with a real class argument
-        for base in available_metric_families():
-            for tx_class in smoke_result.metrics.classes():
-                value = metric_value(smoke_result, f"{base}[{tx_class}]")
-                assert isinstance(value, float) and not math.isnan(value)
+        # Parameterized families resolve with a real argument from
+        # their own domain; this run is unmonitored, so the violations
+        # family must be NaN (nothing was checked), never a fake zero.
+        from repro.monitors import available_monitors
+
+        family_args = {
+            "abort_rate": (smoke_result.metrics.classes(), False),
+            "violations": (available_monitors(), True),
+        }
+        assert set(family_args) == set(available_metric_families())
+        for base, (args, expect_nan) in family_args.items():
+            assert args, base
+            for arg in args:
+                value = metric_value(smoke_result, f"{base}[{arg}]")
+                assert isinstance(value, float), f"{base}[{arg}]"
+                assert math.isnan(value) == expect_nan, f"{base}[{arg}]"
 
     def test_headline_values_match_result_methods(self, smoke_result):
         assert metric_value(smoke_result, "throughput_tpm") == (

@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import available_metric_families, available_metrics
 from repro.campaigns import available_campaigns
 from repro.core.faults import FAULT_ACTIONS
+from repro.monitors import available_monitors
 from repro.protocols import available_protocols
 
 #: Every documented metric name: plain metrics plus the ``base[class]``
@@ -80,6 +81,15 @@ class TestReadme:
             "README metric table"
         )
 
+    @pytest.mark.parametrize("monitor", available_monitors())
+    def test_registered_monitors_in_table(self, monitor):
+        """The README "Runtime invariant checking" table must not
+        drift from the monitor registry."""
+        assert f"| `{monitor}` |" in README, (
+            f"monitor {monitor!r} is registered but missing from the "
+            "README monitor table"
+        )
+
 
 class TestArchitecture:
     @pytest.mark.parametrize("protocol", available_protocols())
@@ -105,6 +115,13 @@ class TestArchitecture:
     def test_registered_metrics_in_table(self, metric):
         assert f"| `{metric}` |" in ARCHITECTURE, (
             f"metric {metric!r} missing from the ARCHITECTURE metric table"
+        )
+
+    @pytest.mark.parametrize("monitor", available_monitors())
+    def test_registered_monitors_in_table(self, monitor):
+        assert f"| `{monitor}` |" in ARCHITECTURE, (
+            f"monitor {monitor!r} missing from the ARCHITECTURE "
+            "monitor table"
         )
 
     def test_lifecycle_walkthrough_present(self):
