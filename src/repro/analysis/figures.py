@@ -183,6 +183,10 @@ def _table2(rs: ResultSet) -> Table:
     return class_abort_table(rs, "fault")
 
 
+def _scaleout(rs: ResultSet) -> Table:
+    return rs.pivot("fragments", "placement", "throughput_tpm")
+
+
 FIGURES: Dict[str, Figure] = {
     figure.key: figure
     for figure in (
@@ -245,6 +249,13 @@ FIGURES: Dict[str, Figure] = {
             lambda v: f"{v * 100:5.2f}",
             col_names={"cpu_protocol": "usage"},
             row_header="run",
+        ),
+        Figure(
+            "scaleout",
+            "Scale-out: throughput (committed tpm) vs fragment count",
+            _scaleout,
+            "{:.1f}",
+            row_header="fragments",
         ),
         Figure(
             "table1",

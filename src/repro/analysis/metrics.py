@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.experiment import ScenarioResult
 from ..core.metrics import quantiles
-from ..monitors import resolve_monitors
+from ..monitors import applicable_monitors
 
 __all__ = [
     "HEADLINE_METRICS",
@@ -201,18 +201,19 @@ def _sampled(
 
 
 def _violations(result: ScenarioResult) -> float:
-    # NaN (not 0) when the cell ran without monitors: "nothing was
-    # checked" must render as a dash, never as a clean zero.
-    if not result.config.monitors:
+    # NaN (not 0) when the cell ran without any armed monitor: "nothing
+    # was checked" must render as a dash, never as a clean zero.  The
+    # applicability rules (centralized baselines, monitors that don't
+    # understand per-fragment groups) live in ``applicable_monitors``,
+    # the same decision that armed — or skipped — them during the run.
+    if not applicable_monitors(result.config):
         return math.nan
     return float(len(result.violations))
 
 
 def _violations_for(monitor: str) -> Callable[[ScenarioResult], float]:
     def extract(result: ScenarioResult) -> float:
-        if not result.config.monitors:
-            return math.nan
-        if monitor not in resolve_monitors(result.config.monitors):
+        if monitor not in applicable_monitors(result.config):
             return math.nan
         return float(
             sum(1 for v in result.violations if v.monitor == monitor)

@@ -135,6 +135,35 @@ def _recovery_spec() -> CampaignSpec:
     )
 
 
+def _scale_out_spec() -> CampaignSpec:
+    # 3000 clients drive the 6-site system past its full-replication
+    # saturation point (the one total-order stream is the bottleneck),
+    # which is where splitting into per-fragment groups pays off; 300
+    # warehouses divide evenly by every swept fragment count, so both
+    # placements balance exactly.  fragments=1 is the full-replication
+    # baseline the scale-out curve is read against; no faults, so
+    # 2-site groups (fragments=3) are fine.
+    return CampaignSpec(
+        name="scale-out",
+        description=(
+            "partial-replication scale-out: the 6-site system driven "
+            "past full-replication saturation under the partial "
+            "protocol with 1/2/3 per-fragment groups and both data "
+            "placements, against the fully replicated baseline"
+        ),
+        kind="performance",
+        label="{protocol_prefix}f{fragments} {placement} c{clients}",
+        template={"sites": 6, "cpus_per_site": 1, "clients": 3000},
+        axes=[
+            ("transactions", (None,)),
+            ("seed", (42,)),
+            ("protocol", ("partial",)),
+            ("fragments", (1, 2, 3)),
+            ("placement", ("range", "round-robin")),
+        ],
+    )
+
+
 def _safety_spec() -> CampaignSpec:
     return CampaignSpec(
         name="safety",
@@ -181,6 +210,7 @@ for _build in (
     _fig5_spec,
     _fig7_spec,
     _recovery_spec,
+    _scale_out_spec,
     _safety_spec,
     _safety_monitored_spec,
 ):

@@ -35,6 +35,7 @@ from ..net.address import Endpoint, GroupAddress
 from ..net.capture import PacketCapture
 from ..net.network import Network
 from ..net.udp import UdpSocket
+from ..placement import PLACEMENT_POLICIES, fragment_of_site, sites_of_fragment
 from ..protocols.base import (
     ProtocolContext,
     ProtocolGroup,
@@ -77,6 +78,15 @@ class ScenarioConfig:
     #: (``sites > 1``); see :mod:`repro.protocols`.  Centralized
     #: baselines ignore it.
     protocol: str = "dbsm"
+    #: Number of data fragments (partial replication).  ``1`` — the
+    #: default — is full replication: one global group, any protocol.
+    #: ``fragments > 1`` splits the warehouses across per-fragment
+    #: replica groups, each with its own GCS stack; only the
+    #: ``"partial"`` protocol understands that topology.
+    fragments: int = 1
+    #: Warehouse->fragment placement policy (:mod:`repro.placement`).
+    #: Ignored while ``fragments == 1``.
+    placement: str = "range"
     #: Runtime invariant monitors wired into the event path (names from
     #: :mod:`repro.monitors`, or ``"all"``).  Empty — the default —
     #: means monitoring is off and the run is bit-identical to the
@@ -111,6 +121,30 @@ class ScenarioConfig:
             raise ValueError("transactions must be positive")
         if not self.protocol or not isinstance(self.protocol, str):
             raise ValueError("protocol must be a non-empty protocol name")
+        if self.fragments < 1:
+            raise ValueError("fragments must be positive")
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
+        if self.fragments > 1:
+            if self.protocol != "partial":
+                raise ValueError(
+                    "fragments > 1 requires the 'partial' protocol "
+                    f"(got {self.protocol!r})"
+                )
+            if self.sites < self.fragments:
+                raise ValueError(
+                    f"{self.fragments} fragments need at least that many "
+                    f"sites (have {self.sites})"
+                )
+            if warehouses_for_clients(self.clients) < self.fragments:
+                raise ValueError(
+                    f"{self.fragments} fragments need at least that many "
+                    f"warehouses ({self.clients} clients size only "
+                    f"{warehouses_for_clients(self.clients)})"
+                )
         if isinstance(self.monitors, str):
             self.monitors = (self.monitors,)
         else:
@@ -258,11 +292,29 @@ class ScenarioResult:
         return sum(e.orphaned_commits for e in self.completed_rejoins())
 
     def check_safety(self) -> Dict[str, int]:
-        """All operational sites committed the same sequence (§5.3)."""
+        """All operational sites committed the same sequence (§5.3).
+
+        Under partial replication one-copy equivalence holds *per
+        fragment group*: sites replicating different fragments
+        legitimately hold disjoint logs, so each group is checked
+        against its own reference log.  Commit logs are stored in site
+        order, which makes the site→group mapping recoverable from the
+        config without any artifact-format change.
+        """
         logs = self.commit_logs()
         if not logs:
             return {}
-        return check_consistency(logs)
+        fragments = self.config.fragments
+        if fragments <= 1 or len(logs) != self.config.sites:
+            return check_consistency(logs)
+        divergences: Dict[str, int] = {}
+        for fragment in range(fragments):
+            group_logs = [
+                logs[i]
+                for i in sites_of_fragment(fragment, self.config.sites, fragments)
+            ]
+            divergences.update(check_consistency(group_logs))
+        return divergences
 
     # -- headline numbers -------------------------------------------------
     def throughput_tpm(self) -> float:
@@ -365,7 +417,35 @@ class Scenario:
         self.metrics = MetricsCollector()
         self.profiles = config.profiles or default_profiles()
         self.sites: List[Site] = []
-        self._group = GroupAddress("dbsm", _GROUP_PORT)
+        # One GCS group per fragment, each with its own address/port,
+        # sequencer, views and state transfer.  The single-fragment
+        # layout is byte-for-byte the historical one ("dbsm" at port
+        # 7000, all sites members), which keeps full-replication runs
+        # bit-identical through the multi-group refactor.
+        self._groups: List[GroupAddress] = [
+            GroupAddress(
+                "dbsm" if config.fragments == 1 else f"frag{g}",
+                _GROUP_PORT + g,
+            )
+            for g in range(config.fragments)
+        ]
+        self._site_fragment: List[int] = [
+            fragment_of_site(i, config.sites, config.fragments)
+            if config.fragments > 1
+            else 0
+            for i in range(config.sites)
+        ]
+        self._members_of: List[Dict[int, Endpoint]] = [
+            {
+                i: Endpoint(f"site{i}", _GROUP_PORT + g)
+                for i in (
+                    sites_of_fragment(g, config.sites, config.fragments)
+                    if config.fragments > 1
+                    else range(config.sites)
+                )
+            }
+            for g in range(config.fragments)
+        ]
         self._protocol_group = ProtocolGroup()
         #: Runtime invariant monitors (None when disabled): observe-only
         #: probes on the event path, zero footprint when off.
@@ -387,17 +467,11 @@ class Scenario:
     def _build_sites(self) -> None:
         config = self.config
         replicated = config.sites > 1
-        members = {
-            i: Endpoint(f"site{i}", _GROUP_PORT) for i in range(config.sites)
-        }
-        endpoint_ids = {addr: i for i, addr in members.items()}
         share, extra = divmod(config.clients, config.sites)
         for index in range(config.sites):
             site = self._build_site(
                 index,
                 replicated,
-                members,
-                endpoint_ids,
                 clients=share + (1 if index < extra else 0),
                 first_client_id=index * share + min(index, extra),
             )
@@ -407,8 +481,6 @@ class Scenario:
         self,
         index: int,
         replicated: bool,
-        members: Dict[int, Endpoint],
-        endpoint_ids: Dict[Endpoint, int],
         clients: int,
         first_client_id: int,
     ) -> Site:
@@ -445,7 +517,7 @@ class Scenario:
             workload=workload,
         )
         if replicated:
-            self._attach_replication(site, members, endpoint_ids)
+            self._attach_replication(site)
         site.clients = ClientPool(
             self.sim,
             server,
@@ -456,17 +528,16 @@ class Scenario:
         )
         return site
 
-    def _attach_replication(
-        self,
-        site: Site,
-        members: Dict[int, Endpoint],
-        endpoint_ids: Dict[Endpoint, int],
-    ) -> None:
+    def _attach_replication(self, site: Site) -> None:
         config = self.config
         index = site.index
+        fragment = self._site_fragment[index]
+        group_address = self._groups[fragment]
+        members = self._members_of[fragment]
+        endpoint_ids = {addr: i for i, addr in members.items()}
         host = self.network.add_host(f"site{index}")
-        socket = UdpSocket(host, _GROUP_PORT)
-        socket.join(self._group)
+        socket = UdpSocket(host, group_address.port)
+        socket.join(group_address)
         plan = config.faults.get(index, FaultPlan())
         injector = FaultInjector(plan) if plan.has_faults() else None
         runtime = SiteRuntime(
@@ -483,8 +554,8 @@ class Scenario:
             runtime, members[index], seed=derive_seed(config.seed, "protocol", index)
         )
         group_dest = (
-            self._group
-            if self.network.multicast_capable(f"site{index}", self._group)
+            group_address
+            if self.network.multicast_capable(f"site{index}", group_address)
             else [addr for i, addr in members.items() if i != index]
         )
         gcs = GroupCommunication(

@@ -111,6 +111,41 @@ class Certifier:
         self.stats["committed"] += 1
         return True, commit_seq
 
+    # ------------------------------------------------------------------
+    # split certification (cross-group agreement; see protocols/partial)
+    # ------------------------------------------------------------------
+    def would_commit(self, request: CommitRequest) -> bool:
+        """The conflict test alone — no commit, no log append.
+
+        A cross-group transaction's *vote*: the decision is cast here but
+        only applied (via :meth:`force_commit`) once every touched group
+        has agreed, so the test must not mutate certification state.
+        """
+        self.stats["certified"] += 1
+        if self._log and request.start_seq < self._log[0][0] - 1:
+            raise CertificationError(
+                f"request started at seq {request.start_seq} but the log "
+                f"begins at {self._log[0][0]} — raise log_limit"
+            )
+        if self._conflicts(request):
+            self.stats["aborted"] += 1
+            return False
+        return True
+
+    def force_commit(self, request: CommitRequest) -> int:
+        """Apply an externally-agreed commit: assign the next sequence
+        number and append the write set to the log.  The caller (the
+        cross-group agreement step) guarantees every replica of this
+        group invokes it at the same point in the delivery order."""
+        self.next_commit_seq += 1
+        commit_seq = self.next_commit_seq
+        if request.write_set:
+            self._log.append(self._log_entry(commit_seq, request.write_set))
+            while len(self._log) > self.log_limit:
+                self._log.popleft()
+        self.stats["committed"] += 1
+        return commit_seq
+
     @staticmethod
     def _log_entry(commit_seq: int, write_set: Tuple[int, ...]) -> Tuple:
         return (

@@ -52,6 +52,7 @@ __all__ = [
     "ViewSynchrony",
     "PrimaryComponent",
     "GcsOrdering",
+    "applicable_monitors",
     "available_monitors",
     "build_hub",
     "build_monitor",
@@ -60,18 +61,50 @@ __all__ = [
 ]
 
 
+def applicable_monitors(config) -> tuple:
+    """The resolved monitor names that actually apply to ``config``.
+
+    This is the single arming decision shared by :func:`build_hub` and
+    the ``violations`` metrics: centralized baselines arm nothing, and
+    fragmented (partial-replication) runs arm only fragment-aware
+    monitors — one whose invariant is not meaningful across per-fragment
+    groups is *excluded*, so its metric reads NaN there rather than a
+    fake-clean zero.
+    """
+    if not config.monitors or config.sites < 2:
+        return ()
+    names = resolve_monitors(config.monitors)
+    if getattr(config, "fragments", 1) > 1:
+        names = tuple(
+            name for name in names if build_monitor(name).fragment_aware
+        )
+    return names
+
+
 def build_hub(config, clock) -> "MonitorHub | None":
     """The run's :class:`MonitorHub`, or None when monitoring is off.
 
     Centralized baselines (``sites == 1``) have no replication layer to
     observe and run without a hub whatever ``config.monitors`` says —
-    mirroring how they ignore ``config.protocol``.
+    mirroring how they ignore ``config.protocol``.  Fragmented runs get
+    a hub that knows the site→group mapping, so monitors scope their
+    cross-site comparisons to each replica group.
     """
-    if not config.monitors or config.sites < 2:
-        return None
-    names = resolve_monitors(config.monitors)
+    names = applicable_monitors(config)
     if not names:
         return None
+    fragments = getattr(config, "fragments", 1)
+    site_groups = None
+    if fragments > 1:
+        from ..placement import fragment_of_site
+
+        site_groups = {
+            site: fragment_of_site(site, config.sites, fragments)
+            for site in range(config.sites)
+        }
     return MonitorHub(
-        [build_monitor(name) for name in names], config.sites, clock
+        [build_monitor(name) for name in names],
+        config.sites,
+        clock,
+        site_groups=site_groups,
     )

@@ -103,6 +103,13 @@ class Monitor:
     #: Registry name (subclasses set it; it keys the docs table and the
     #: ``violations[monitor]`` metric family).
     name: str = "?"
+    #: Whether the monitor understands per-fragment replica groups
+    #: (partial replication): its invariants hold *within* a GCS group,
+    #: and it scopes every cross-site comparison through
+    #: :meth:`group_of`.  Monitors that leave this False are excluded
+    #: from fragmented runs by ``build_hub`` — their metrics read NaN
+    #: there, never a fake-clean zero.
+    fragment_aware: bool = False
 
     def __init__(self) -> None:
         self.violations: List[InvariantViolation] = []
@@ -120,6 +127,15 @@ class Monitor:
 
     def site_name(self, site: int) -> str:
         return self._names.get(site, f"site{site}")
+
+    def group_of(self, site: int) -> int:
+        """The replica group (fragment) ``site`` belongs to.
+
+        Full replication — and standalone (hub-less) use — is one group:
+        everything maps to group 0, which keeps every pre-fragment
+        comparison exactly as it was.
+        """
+        return 0 if self._hub is None else self._hub.group_of(site)
 
     def _now(self) -> float:
         if self._hub is not None:
@@ -259,11 +275,15 @@ class MonitorHub:
         monitors: Sequence[Monitor],
         total_sites: int,
         clock: Callable[[], float],
+        site_groups: Optional[Dict[int, int]] = None,
     ):
         self.monitors: List[Monitor] = list(monitors)
         self.total_sites = total_sites
         self._clock = clock
         self._views: Dict[int, object] = {}
+        #: site -> replica group (fragment); empty under full
+        #: replication, where every site is in group 0.
+        self._site_groups: Dict[int, int] = dict(site_groups or {})
         for monitor in self.monitors:
             monitor.attach(self)
         #: hook name -> monitors that actually override it, so hot-path
@@ -279,6 +299,18 @@ class MonitorHub:
 
     def now(self) -> float:
         return self._clock()
+
+    def group_of(self, site: int) -> int:
+        """The replica group (fragment) ``site`` belongs to (0 under
+        full replication)."""
+        return self._site_groups.get(site, 0)
+
+    def group_members(self, site: int) -> Tuple[int, ...]:
+        """The full (initial) member set of ``site``'s replica group."""
+        group = self.group_of(site)
+        return tuple(
+            s for s in range(self.total_sites) if self.group_of(s) == group
+        )
 
     def views_of(self, site: int):
         """The bound site's :class:`~repro.gcs.views.ViewManager` (the

@@ -39,6 +39,10 @@ class GcsOrdering(Monitor):
     """FIFO / total-order delivery invariants of the GCS stack."""
 
     name = "gcs-ordering"
+    #: Each fragment group runs its own total-order session with its
+    #: own global-sequence space, so cross-site agreement is checked
+    #: within the group; per-site FIFO/monotonicity need no scoping.
+    fragment_aware = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -87,8 +91,9 @@ class GcsOrdering(Monitor):
             self._last_ordered[site] = global_seq
         message = (origin, origin_seq)
         self._delivered.setdefault(site, {})[global_seq] = message
+        group = self.group_of(site)
         for other, history in self._delivered.items():
-            if other == site:
+            if other == site or self.group_of(other) != group:
                 continue
             theirs = history.get(global_seq)
             if theirs is not None and theirs != message:
@@ -123,14 +128,18 @@ class GcsOrdering(Monitor):
     def finalize(self) -> None:
         # Confirm cross-site agreement over the surviving delivered
         # histories (divergent windows wiped by a rejoin are gone, like
-        # the orphaned commits they carried).
-        authoritative: Dict[int, Tuple[Tuple[int, int], int]] = {}
+        # the orphaned commits they carried).  Anchors are per replica
+        # group: each group numbers its own delivery sequence.
+        authoritative: Dict[
+            Tuple[int, int], Tuple[Tuple[int, int], int]
+        ] = {}
         for site in sorted(self._delivered):
             history = self._delivered[site]
+            group = self.group_of(site)
             for global_seq in sorted(history):
                 message = history[global_seq]
                 anchor = authoritative.setdefault(
-                    global_seq, (message, site)
+                    (group, global_seq), (message, site)
                 )
                 if anchor[0] != message:
                     self.emit(

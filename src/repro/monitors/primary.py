@@ -29,6 +29,10 @@ class PrimaryComponent(Monitor):
     """No minority view installs; no commits outside the primary."""
 
     name = "primary-component"
+    #: Majority chains are per replica group: a fragment group's views
+    #: draw from its own member set, so the initial-view fallback is the
+    #: group's members, not all sites.
+    fragment_aware = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -45,7 +49,7 @@ class PrimaryComponent(Monitor):
         if site in self._members:
             return self._members[site]
         if self._hub is not None:
-            return tuple(range(self._hub.total_sites))
+            return self._hub.group_members(site)
         return None
 
     def on_view_installed(

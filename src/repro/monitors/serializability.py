@@ -35,6 +35,10 @@ class OneCopySerializability(Monitor):
     """Cross-site commit-sequence agreement, crash-prefix aware."""
 
     name = "one-copy-sr"
+    #: One-copy equivalence holds per replica group under partial
+    #: replication: sites of different fragments legitimately commit
+    #: disjoint sequences, so every comparison is scoped to the group.
+    fragment_aware = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -54,8 +58,13 @@ class OneCopySerializability(Monitor):
         log = self._logs.setdefault(site, [])
         index = len(log)
         log.append(entry)
+        group = self.group_of(site)
         for other, other_log in self._logs.items():
-            if other == site or len(other_log) <= index:
+            if (
+                other == site
+                or len(other_log) <= index
+                or self.group_of(other) != group
+            ):
                 continue
             if other_log[index] != entry:
                 pair = (site, other) if site < other else (other, site)
@@ -79,6 +88,14 @@ class OneCopySerializability(Monitor):
     # -- verdict ---------------------------------------------------------
     def finalize(self) -> None:
         sites = sorted(set(self._names) | set(self._logs))
+        groups: Dict[int, List[int]] = {}
+        for site in sites:
+            groups.setdefault(self.group_of(site), []).append(site)
+        for group in sorted(groups):
+            self._finalize_group(groups[group])
+
+    def _finalize_group(self, sites: List[int]) -> None:
+        """The :func:`check_consistency` rules over one replica group."""
         logs = {site: tuple(self._logs.get(site, ())) for site in sites}
         operational = [site for site in sites if site not in self._crashed]
         if not operational:

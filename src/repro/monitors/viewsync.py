@@ -35,11 +35,17 @@ class ViewSynchrony(Monitor):
     """Same-view agreement, flush completeness, departed-origin fence."""
 
     name = "view-synchrony"
+    #: View ids are per replica group (each fragment group runs its own
+    #: view manager), so the agreement anchor is keyed by group too.
+    fragment_aware = True
 
     def __init__(self) -> None:
         super().__init__()
-        #: view_id -> (members, first installer) — the agreement anchor.
-        self._views: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        #: (group, view_id) -> (members, first installer) — the
+        #: agreement anchor.
+        self._views: Dict[
+            Tuple[int, int], Tuple[Tuple[int, ...], int]
+        ] = {}
         #: site -> members of its currently installed view.
         self._members: Dict[int, Tuple[int, ...]] = {}
         #: site -> origin -> highest flush target ever decided; the
@@ -62,7 +68,9 @@ class ViewSynchrony(Monitor):
         contiguous: Dict[int, int],
     ) -> None:
         members = tuple(sorted(members))
-        anchor = self._views.setdefault(view_id, (members, site))
+        anchor = self._views.setdefault(
+            (self.group_of(site), view_id), (members, site)
+        )
         if anchor[0] != members and site not in self._agree_flagged:
             self._agree_flagged.add(site)
             self.emit(

@@ -1,0 +1,26 @@
+"""Data-placement layer: fragment maps, placement policies, routing.
+
+Supports the ``"partial"`` replication protocol: the database is split
+into warehouse-keyed fragments, each replicated by its own GCS group,
+and every transaction is routed to exactly the fragment groups its
+read/write sets touch.
+"""
+
+from .fragments import (
+    DEFAULT_PLACEMENT,
+    PLACEMENT_POLICIES,
+    FragmentMap,
+    fragment_of_site,
+    sites_of_fragment,
+)
+from .router import RoutingDecision, TransactionRouter
+
+__all__ = [
+    "DEFAULT_PLACEMENT",
+    "PLACEMENT_POLICIES",
+    "FragmentMap",
+    "RoutingDecision",
+    "TransactionRouter",
+    "fragment_of_site",
+    "sites_of_fragment",
+]

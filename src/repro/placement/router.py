@@ -1,0 +1,79 @@
+"""Transaction routing: which fragment groups must certify a transaction.
+
+The router classifies a transaction from its read and write sets:
+single-fragment transactions certify through their one group's total
+order; cross-fragment transactions are atomically multicast to exactly
+the groups they touch.  Classification is a pure function of the sets
+plus the home fragment, so every site — origin or remote — computes the
+same answer from the same marshalled request.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple, Tuple
+
+from ..db.tuples import is_table_lock
+from .fragments import FragmentMap
+
+__all__ = ["RoutingDecision", "TransactionRouter"]
+
+
+class RoutingDecision(NamedTuple):
+    """Where a transaction must be certified.
+
+    ``fragments`` is the sorted, de-duplicated tuple of touched
+    fragments; ``home`` is the fragment of the transaction's home
+    warehouse.  ``is_cross`` distinguishes the genuine-multicast path.
+    """
+
+    fragments: Tuple[int, ...]
+    home: int
+
+    @property
+    def is_cross(self) -> bool:
+        return len(self.fragments) > 1
+
+
+class TransactionRouter:
+    """Maps read/write sets to the set of fragment groups they touch."""
+
+    __slots__ = ("fragment_map", "_all_fragments")
+
+    def __init__(self, fragment_map: FragmentMap):
+        self.fragment_map = fragment_map
+        self._all_fragments = tuple(range(fragment_map.fragments))
+
+    def route(
+        self,
+        read_set: Iterable[int],
+        write_set: Iterable[int],
+        home_fragment: int,
+    ) -> RoutingDecision:
+        """Classify a transaction.
+
+        Whole-table locks (read-set escalation) touch every fragment —
+        the table's rows are spread across all of them.  Unmappable ids
+        (item catalog, fresh insert rows) constrain nothing: the item
+        catalog is read-only and replicated everywhere, and a fresh row
+        can never conflict.  A transaction whose sets pin no fragment at
+        all (read-only against the catalog, or empty) stays home.
+        """
+        if not 0 <= home_fragment < self.fragment_map.fragments:
+            raise ValueError(f"home fragment {home_fragment} out of range")
+        touched = set()
+        fragment_of_tuple = self.fragment_map.fragment_of_tuple
+        for tuple_id in read_set:
+            if is_table_lock(tuple_id):
+                return RoutingDecision(self._all_fragments, home_fragment)
+            fragment = fragment_of_tuple(tuple_id)
+            if fragment is not None:
+                touched.add(fragment)
+        for tuple_id in write_set:
+            if is_table_lock(tuple_id):
+                return RoutingDecision(self._all_fragments, home_fragment)
+            fragment = fragment_of_tuple(tuple_id)
+            if fragment is not None:
+                touched.add(fragment)
+        if not touched:
+            touched.add(home_fragment)
+        return RoutingDecision(tuple(sorted(touched)), home_fragment)

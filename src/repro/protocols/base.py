@@ -237,7 +237,7 @@ Builder = Callable[[ProtocolContext], ReplicationProtocol]
 
 _REGISTRY: Dict[str, Builder] = {}
 #: Submodules that register the built-in protocols on import.
-_BUILTIN_MODULES = (".dbsm", ".primary_copy")
+_BUILTIN_MODULES = (".dbsm", ".primary_copy", ".partial")
 
 
 def register_protocol(name: str, builder: Builder) -> None:

@@ -16,9 +16,9 @@ site index so that two replicas can never generate the same fresh row id
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-from ..db.tuples import make_tuple_id
+from ..db.tuples import make_tuple_id, row_of, table_of
 
 __all__ = [
     "Table",
@@ -38,6 +38,10 @@ __all__ = [
     "STOCK_PER_WAREHOUSE",
     "ITEM_COUNT",
     "CLIENTS_PER_WAREHOUSE",
+    "SETTLED_ROW_BASE",
+    "NOHEAD_ROW_BASE",
+    "warehouse_of_tuple",
+    "warehouses_for_clients",
 ]
 
 
@@ -83,6 +87,17 @@ STOCK_PER_WAREHOUSE = 100_000
 ITEM_COUNT = 100_000
 #: Each warehouse supports 10 emulated clients (paper §3.2).
 CLIENTS_PER_WAREHOUSE = 10
+
+#: Synthetic row-id namespace for "settled" (pre-existing) order rows
+#: referenced by orderstatus/delivery/stocklevel.  Fresh insert ids are
+#: striped upward from zero by :class:`TpccLayout`, so settled rows get
+#: their own high range to guarantee disjointness.  The encoding is
+#: ``SETTLED_ROW_BASE + ((w * 10 + d) << 16) + slot`` — warehouse
+#: recoverable, which the placement layer relies on.
+SETTLED_ROW_BASE = 1 << 40
+#: Delivery queue-head pseudo-rows, one per (warehouse, district):
+#: ``NOHEAD_ROW_BASE + w * 10 + d + 1``.
+NOHEAD_ROW_BASE = 1 << 39
 
 
 class TpccLayout:
@@ -168,3 +183,33 @@ class TpccLayout:
 def warehouses_for_clients(clients: int) -> int:
     """The paper sizes the database as one warehouse per 10 clients."""
     return max(1, (clients + CLIENTS_PER_WAREHOUSE - 1) // CLIENTS_PER_WAREHOUSE)
+
+
+def warehouse_of_tuple(tuple_id: int) -> Optional[int]:
+    """Invert a tuple identifier to the warehouse that owns it.
+
+    This is the single inverse of the row formulas above — the placement
+    layer derives fragment ownership through it instead of re-deriving
+    the encodings.  Returns ``None`` for identifiers that carry no
+    warehouse: whole-table locks, the replicated item catalog, and fresh
+    insert rows (striped by site counter, deliberately warehouse-free —
+    a fresh row can never conflict, so it never needs placing).
+    """
+    table = table_of(tuple_id)
+    row = row_of(tuple_id)
+    if row == 0:  # whole-table lock: covers every warehouse
+        return None
+    if table == WAREHOUSE.table_id:
+        return row - 1
+    if table == DISTRICT.table_id:
+        return (row - 1) // DISTRICTS_PER_WAREHOUSE
+    if table == CUSTOMER.table_id:
+        return (row - 1) // CUSTOMERS_PER_DISTRICT // DISTRICTS_PER_WAREHOUSE
+    if table == STOCK.table_id:
+        return (row - 1) // STOCK_PER_WAREHOUSE
+    if row >= SETTLED_ROW_BASE:
+        return ((row - SETTLED_ROW_BASE) >> 16) // DISTRICTS_PER_WAREHOUSE
+    if row >= NOHEAD_ROW_BASE:
+        return (row - NOHEAD_ROW_BASE - 1) // DISTRICTS_PER_WAREHOUSE
+    # Item catalog rows and striped fresh-insert rows.
+    return None

@@ -58,13 +58,11 @@ BY_NAME_PROB = 0.60
 REMOTE_CUSTOMER_PROB = 0.15
 REMOTE_SUPPLY_PROB = 0.01
 
-#: Synthetic row-id namespace for "settled" (pre-existing) order rows
-#: referenced by orderstatus/delivery/stocklevel; fresh insert ids are
-#: striped upward from zero by TpccLayout, so give settled rows their own
-#: high range to guarantee disjointness.
-_SETTLED_BASE = 1 << 40
-#: Delivery queue-head pseudo-rows, one per (warehouse, district).
-_NOHEAD_BASE = 1 << 39
+#: Settled-order and delivery queue-head row namespaces live in the
+#: schema module so the placement layer can invert them back to a
+#: warehouse (see :func:`repro.tpcc.schema.warehouse_of_tuple`).
+_SETTLED_BASE = schema.SETTLED_ROW_BASE
+_NOHEAD_BASE = schema.NOHEAD_ROW_BASE
 
 
 class TpccWorkload:

@@ -1,0 +1,184 @@
+"""Property tests: data placement — fragment maps and the router.
+
+The partial-replication invariants everything downstream leans on:
+
+* a :class:`FragmentMap` is a *partition* of the warehouses — every
+  warehouse owned by exactly one fragment, every fragment non-empty;
+* site groups partition the sites the same way;
+* :func:`warehouse_of_tuple` decodes exactly the row formulas the
+  TPC-C schema encodes;
+* a routing decision touches exactly the union of the fragments the
+  transaction's mappable keys live in — a whole-table lock touches all
+  of them, unmappable keys (item catalog, striped fresh inserts)
+  touch none.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.placement import (
+    PLACEMENT_POLICIES,
+    FragmentMap,
+    TransactionRouter,
+    fragment_of_site,
+    sites_of_fragment,
+)
+from repro.db.tuples import make_tuple_id, table_lock_id
+from repro.tpcc.schema import (
+    CUSTOMER,
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    ITEM,
+    NOHEAD_ROW_BASE,
+    ORDER,
+    SETTLED_ROW_BASE,
+    STOCK,
+    STOCK_PER_WAREHOUSE,
+    WAREHOUSE,
+    warehouse_of_tuple,
+    warehouses_for_clients,
+)
+
+policies = st.sampled_from(PLACEMENT_POLICIES)
+
+
+@st.composite
+def maps(draw):
+    warehouses = draw(st.integers(min_value=1, max_value=60))
+    fragments = draw(st.integers(min_value=1, max_value=warehouses))
+    policy = draw(policies)
+    return FragmentMap(warehouses, fragments, policy)
+
+
+@given(maps())
+@settings(max_examples=300)
+def test_fragment_map_partitions_warehouses(fmap):
+    seen = []
+    for fragment in range(fmap.fragments):
+        owned = fmap.warehouses_of_fragment(fragment)
+        assert owned, "every fragment owns at least one warehouse"
+        seen.extend(owned)
+    assert sorted(seen) == list(range(fmap.warehouses))
+    for warehouse in range(fmap.warehouses):
+        fragment = fmap.fragment_of_warehouse(warehouse)
+        assert 0 <= fragment < fmap.fragments
+        assert warehouse in fmap.warehouses_of_fragment(fragment)
+
+
+@given(maps())
+@settings(max_examples=200)
+def test_range_policy_is_contiguous_and_monotone(fmap):
+    owners = [fmap.fragment_of_warehouse(w) for w in range(fmap.warehouses)]
+    if fmap.policy == "range":
+        assert owners == sorted(owners)
+    else:  # round-robin
+        assert owners == [w % fmap.fragments for w in range(fmap.warehouses)]
+
+
+@given(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=300)
+def test_site_groups_partition_sites(sites, fragments):
+    if fragments > sites:
+        return
+    seen = []
+    for fragment in range(fragments):
+        members = sites_of_fragment(fragment, sites, fragments)
+        assert members, "every fragment group has at least one site"
+        seen.extend(members)
+        for site in members:
+            assert fragment_of_site(site, sites, fragments) == fragment
+    assert sorted(seen) == list(range(sites))
+
+
+warehouse_ids = st.integers(min_value=0, max_value=59)
+district_ids = st.integers(min_value=0, max_value=DISTRICTS_PER_WAREHOUSE - 1)
+
+
+@given(warehouse_ids, district_ids, st.data())
+@settings(max_examples=400)
+def test_warehouse_of_tuple_decodes_schema_rows(warehouse, district, data):
+    """Decode inverts the encoding for every per-warehouse row family."""
+    customer = data.draw(
+        st.integers(min_value=0, max_value=CUSTOMERS_PER_DISTRICT - 1)
+    )
+    item = data.draw(st.integers(min_value=0, max_value=STOCK_PER_WAREHOUSE - 1))
+    slot = data.draw(st.integers(min_value=0, max_value=999))
+    wd = warehouse * DISTRICTS_PER_WAREHOUSE + district
+    encoded = [
+        make_tuple_id(WAREHOUSE.table_id, warehouse + 1),
+        make_tuple_id(DISTRICT.table_id, wd + 1),
+        make_tuple_id(
+            CUSTOMER.table_id, wd * CUSTOMERS_PER_DISTRICT + customer + 1
+        ),
+        make_tuple_id(
+            STOCK.table_id, warehouse * STOCK_PER_WAREHOUSE + item + 1
+        ),
+        make_tuple_id(ORDER.table_id, SETTLED_ROW_BASE + (wd << 16) + slot),
+        make_tuple_id(ORDER.table_id, NOHEAD_ROW_BASE + wd + 1),
+    ]
+    for tuple_id in encoded:
+        assert warehouse_of_tuple(tuple_id) == warehouse
+    # Item catalog rows and table locks are warehouse-free.
+    assert warehouse_of_tuple(make_tuple_id(ITEM.table_id, item + 1)) is None
+    assert warehouse_of_tuple(table_lock_id(STOCK.table_id)) is None
+
+
+@st.composite
+def routed_footprints(draw):
+    fmap = draw(maps())
+    count = draw(st.integers(min_value=0, max_value=8))
+    warehouses = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=fmap.warehouses - 1),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    keys = tuple(
+        make_tuple_id(WAREHOUSE.table_id, w + 1) for w in warehouses
+    )
+    return fmap, warehouses, keys
+
+
+@given(routed_footprints(), st.data())
+@settings(max_examples=300)
+def test_route_is_union_of_touched_fragments(footprint, data):
+    fmap, warehouses, keys = footprint
+    home = data.draw(st.integers(min_value=0, max_value=fmap.fragments - 1))
+    split = data.draw(st.integers(min_value=0, max_value=len(keys)))
+    router = TransactionRouter(fmap)
+    decision = router.route(keys[:split], keys[split:], home)
+    expected = sorted({fmap.fragment_of_warehouse(w) for w in warehouses})
+    if not expected:
+        expected = [home]
+    assert list(decision.fragments) == expected
+    assert decision.home == home
+    assert decision.is_cross == (len(expected) > 1)
+
+
+@given(maps(), st.data())
+@settings(max_examples=200)
+def test_table_lock_routes_everywhere_unmappable_nowhere(fmap, data):
+    home = data.draw(st.integers(min_value=0, max_value=fmap.fragments - 1))
+    router = TransactionRouter(fmap)
+    lock = router.route((), (table_lock_id(STOCK.table_id),), home)
+    assert list(lock.fragments) == list(range(fmap.fragments))
+    catalog = router.route((make_tuple_id(ITEM.table_id, 7),), (), home)
+    assert lock.is_cross == (fmap.fragments > 1)
+    assert list(catalog.fragments) == [home]
+    assert not catalog.is_cross
+
+
+@given(st.integers(min_value=1, max_value=3000), st.integers(min_value=1, max_value=6))
+@settings(max_examples=200)
+def test_for_clients_matches_shared_warehouse_helper(clients, fragments):
+    warehouses = warehouses_for_clients(clients)
+    if fragments > warehouses:
+        return
+    fmap = FragmentMap.for_clients(clients, fragments)
+    assert fmap.warehouses == warehouses
+    assert fmap.fragments == fragments

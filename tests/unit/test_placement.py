@@ -1,0 +1,163 @@
+"""Unit tests: the placement layer's edges and the config plumbing.
+
+Covers what the property tests don't: constructor validation,
+ScenarioConfig's fragment/placement checks and serialization
+round-trip, the campaign axes reaching cell configs, and the
+monitor-applicability / NaN-metric contract for fragmented runs.
+"""
+
+import math
+
+import pytest
+
+from repro.campaigns import get_campaign
+from repro.core.experiment import ScenarioConfig
+from repro.monitors import applicable_monitors
+from repro.placement import (
+    DEFAULT_PLACEMENT,
+    FragmentMap,
+    TransactionRouter,
+    fragment_of_site,
+    sites_of_fragment,
+)
+
+
+class TestFragmentMapValidation:
+    def test_rejects_nonpositive_fragments(self):
+        with pytest.raises(ValueError):
+            FragmentMap(10, 0)
+        with pytest.raises(ValueError):
+            FragmentMap(10, -1)
+
+    def test_rejects_more_fragments_than_warehouses(self):
+        with pytest.raises(ValueError):
+            FragmentMap(3, 4)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FragmentMap(10, 2, "hash")
+
+    def test_default_policy_is_range(self):
+        assert FragmentMap(10, 2).policy == DEFAULT_PLACEMENT == "range"
+
+    def test_equality_and_hash_by_parameters(self):
+        assert FragmentMap(10, 2) == FragmentMap(10, 2, "range")
+        assert FragmentMap(10, 2) != FragmentMap(10, 2, "round-robin")
+        assert hash(FragmentMap(12, 3)) == hash(FragmentMap(12, 3))
+
+    def test_range_splits_evenly_when_divisible(self):
+        fmap = FragmentMap(12, 3, "range")
+        assert fmap.warehouses_of_fragment(0) == tuple(range(0, 4))
+        assert fmap.warehouses_of_fragment(1) == tuple(range(4, 8))
+        assert fmap.warehouses_of_fragment(2) == tuple(range(8, 12))
+
+
+class TestSiteGroups:
+    def test_even_split(self):
+        assert sites_of_fragment(0, 6, 2) == (0, 1, 2)
+        assert sites_of_fragment(1, 6, 2) == (3, 4, 5)
+
+    def test_uneven_split_keeps_every_group_nonempty(self):
+        groups = [sites_of_fragment(f, 5, 3) for f in range(3)]
+        assert all(groups)
+        assert sorted(s for g in groups for s in g) == list(range(5))
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            sites_of_fragment(2, 6, 2)
+        with pytest.raises(ValueError):
+            fragment_of_site(6, 6, 2)
+
+
+class TestScenarioConfigFragments:
+    def test_fragments_require_partial_protocol(self):
+        with pytest.raises(ValueError, match="partial"):
+            ScenarioConfig(sites=4, clients=40, fragments=2)
+
+    def test_fragments_bounded_by_sites_and_warehouses(self):
+        with pytest.raises(ValueError, match="sites"):
+            ScenarioConfig(
+                sites=1, clients=40, protocol="partial", fragments=2
+            )
+        with pytest.raises(ValueError, match="warehouses"):
+            ScenarioConfig(
+                sites=6, clients=30, protocol="partial", fragments=4
+            )
+
+    def test_placement_validated(self):
+        with pytest.raises(ValueError, match="placement"):
+            ScenarioConfig(sites=3, clients=30, placement="hash")
+
+    def test_round_trip_preserves_fragment_axes(self):
+        config = ScenarioConfig(
+            sites=4,
+            clients=120,
+            protocol="partial",
+            fragments=2,
+            placement="round-robin",
+        )
+        again = ScenarioConfig.from_dict(config.to_dict())
+        assert again == config
+        assert again.fragments == 2
+        assert again.placement == "round-robin"
+
+    def test_defaults_stay_fully_replicated(self):
+        config = ScenarioConfig(sites=3, clients=30)
+        assert config.fragments == 1
+        assert config.placement == DEFAULT_PLACEMENT
+
+
+class TestScaleOutCampaign:
+    def test_cells_carry_fragment_axes(self):
+        spec = get_campaign("scale-out")
+        cells = spec.expand_cells()
+        assert len(cells) == 6  # fragments x placement
+        for label, config, axes in cells:
+            assert config.protocol == "partial"
+            assert config.fragments == axes["fragments"]
+            assert config.placement == axes["placement"]
+            assert f"f{config.fragments}" in label
+            assert config.placement in label
+
+    def test_baseline_and_scaled_cells_present(self):
+        by_fragments = {
+            config.fragments
+            for _, config, _ in get_campaign("scale-out").expand_cells()
+        }
+        assert by_fragments == {1, 2, 3}
+
+
+class TestMonitorApplicability:
+    def test_centralized_and_unmonitored_arm_nothing(self):
+        assert applicable_monitors(
+            ScenarioConfig(sites=1, clients=30, monitors=("all",))
+        ) == ()
+        assert applicable_monitors(
+            ScenarioConfig(sites=3, clients=30, monitors=())
+        ) == ()
+
+    def test_fragmented_runs_arm_only_fragment_aware_monitors(self):
+        from repro.monitors import build_monitor, resolve_monitors
+
+        config = ScenarioConfig(
+            sites=4,
+            clients=120,
+            protocol="partial",
+            fragments=2,
+            monitors=("all",),
+        )
+        armed = applicable_monitors(config)
+        assert armed  # the built-ins are all fragment-aware today
+        for name in resolve_monitors(("all",)):
+            assert (name in armed) == build_monitor(name).fragment_aware
+
+    def test_violations_metric_nan_when_nothing_armed(self):
+        from repro.analysis.metrics import get_metric
+        from repro.core.experiment import Scenario
+
+        config = ScenarioConfig(
+            sites=3, clients=30, transactions=60, monitors=()
+        )
+        result = Scenario(config).run()
+        assert math.isnan(get_metric("violations")(result))
+        assert math.isnan(get_metric("violations[one-copy-sr]")(result))
