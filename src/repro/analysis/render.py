@@ -31,6 +31,7 @@ __all__ = [
     "render_markdown",
     "render_text",
     "summary_text",
+    "table_grid",
     "table_payload",
 ]
 
@@ -105,6 +106,19 @@ def _table_grid(
             cells.append(text)
         rows.append((row,) + tuple(cells))
     return headers, rows
+
+
+def table_grid(
+    table: Table,
+    fmt: Optional[Formatter] = None,
+    row_header: Optional[str] = None,
+    col_names: Optional[Dict[object, str]] = None,
+    ci: bool = False,
+) -> tuple:
+    """``(headers, rows)`` with every value already display-formatted —
+    the grid the text/markdown/CSV renderers share, exposed for
+    consumers that lay the table out themselves (the HTML report)."""
+    return _table_grid(table, fmt, row_header, col_names, ci)
 
 
 def render_text(

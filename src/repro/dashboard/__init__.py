@@ -1,0 +1,46 @@
+"""Live campaign observability: journal, dashboard server, HTML report.
+
+The paper's campaigns (Figures 5-7, Tables 1-2) run for minutes to
+hours; this package makes them observable while they run and shareable
+when they finish, without touching the simulation's execution path:
+
+* :mod:`~repro.dashboard.journal` — the append-only ``events.jsonl``
+  event journal the runner writes into the artifact directory, plus an
+  incremental reader tolerant of a partially written trailing line;
+* :mod:`~repro.dashboard.state` — :class:`CampaignView`, the
+  incremental model a dashboard serves: journal events merged with
+  artifact-store scans into per-cell statuses, headline metrics and
+  violation feeds, each exposed as a versioned JSON payload;
+* :mod:`~repro.dashboard.server` — the stdlib-only
+  (``http.server``) dashboard behind ``python -m repro.runner serve``,
+  serving the JSON API (:data:`~repro.dashboard.server.ENDPOINTS`) and
+  the live HTML page;
+* :mod:`~repro.dashboard.page` — the single-file HTML renderer shared
+  by the live dashboard and the byte-deterministic ``report --html``
+  exporter.
+
+Everything here is stdlib-only and read-only with respect to results:
+a campaign run with the journal disabled is bit-identical to one with
+it enabled.
+"""
+
+from .journal import (
+    JOURNAL_NAME,
+    JOURNAL_VERSION,
+    JournalReader,
+    JournalWriter,
+    journal_path,
+    read_journal,
+)
+from .state import DASHBOARD_SCHEMA, CampaignView
+
+__all__ = [
+    "DASHBOARD_SCHEMA",
+    "JOURNAL_NAME",
+    "JOURNAL_VERSION",
+    "CampaignView",
+    "JournalReader",
+    "JournalWriter",
+    "journal_path",
+    "read_journal",
+]

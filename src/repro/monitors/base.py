@@ -80,6 +80,14 @@ class InvariantViolation:
             "seq": self.seq,
         }
 
+    def tagged(self, label: str) -> Dict[str, object]:
+        """The ``to_dict`` payload plus the campaign cell ``label`` that
+        produced it — the shape the event journal and the dashboard's
+        violations feed carry, where violations from many cells mix."""
+        payload = self.to_dict()
+        payload["label"] = label
+        return payload
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "InvariantViolation":
         return cls(

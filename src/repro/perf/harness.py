@@ -26,6 +26,7 @@ Exposed as ``python -m repro.runner perf``.
 from __future__ import annotations
 
 import datetime
+import os
 import platform
 import sys
 import time
@@ -130,6 +131,7 @@ def measure_campaign(
     store: Optional[ArtifactStore] = None,
     progress: Optional[ProgressFn] = None,
     workers: int = 1,
+    journal: bool = False,
 ) -> Dict[str, object]:
     """Execute the pinned campaign ``name`` and return its bench entry.
 
@@ -147,11 +149,33 @@ def measure_campaign(
     parallel speedup.  ``peak_rss_kb`` is the maximum over the parent
     and every worker — the footprint of the widest single process, not
     the sum.
+
+    ``journal=True`` additionally writes the ``events.jsonl``
+    observability journal inside the timed region, exactly as the
+    campaign runner does — how the perf guard measures the journal's
+    emission cost.  With a ``store`` the journal lands in the artifact
+    directory; without one it goes to a scratch directory, so the
+    emission cost is measured without conflating it with artifact
+    serialization (which the pinned baselines do not include either).
     """
     spec = pinned_spec(name, transactions, seed)
     cells = spec.expand()
     if store is not None:
         store.write_manifest(spec.manifest())
+    writer = None
+    if journal:
+        import tempfile
+
+        from ..dashboard.journal import JournalWriter, journal_path
+
+        root = store.root if store is not None else Path(tempfile.mkdtemp())
+        writer = JournalWriter(journal_path(root))
+        writer.campaign_started(
+            campaign=name,
+            total=len(cells),
+            workers=workers,
+            spec_hash=spec.spec_hash(),
+        )
     cell_walls: Dict[str, float] = {}
     total_tx = 0
     total_events = 0
@@ -162,7 +186,9 @@ def measure_campaign(
         with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
             outcomes: List[Tuple] = list(pool.map(_measure_cell, jobs))
         configs = dict(cells)
-        for label, wall, tx, events, rss, payload in outcomes:
+        for done, (label, wall, tx, events, rss, payload) in enumerate(
+            outcomes, start=1
+        ):
             cell_walls[label] = wall
             total_tx += tx
             total_events += events
@@ -173,13 +199,19 @@ def measure_campaign(
                     ScenarioResult.from_dict(payload),
                     config=configs[label],
                 )
+            if writer is not None:
+                writer.cell_finished(
+                    label, "ok", "worker", wall, done=done, total=len(cells)
+                )
             if progress is not None:
                 progress(
                     f"perf[{name}] {label}: {wall:.2f}s "
                     f"({tx} tx, {events} events)"
                 )
     else:
-        for label, config in cells:
+        for done, (label, config) in enumerate(cells, start=1):
+            if writer is not None:
+                writer.cell_started(label)
             started = time.perf_counter()
             scenario = Scenario(config)
             result = scenario.run()
@@ -190,12 +222,25 @@ def measure_campaign(
             total_events += scenario.sim.events_executed
             if store is not None:
                 store.save(label, result, config=config)
+            if writer is not None:
+                writer.cell_finished(
+                    label,
+                    "ok",
+                    "in-process",
+                    wall,
+                    worker=os.getpid(),
+                    done=done,
+                    total=len(cells),
+                )
             if progress is not None:
                 progress(
                     f"perf[{name}] {label}: {wall:.2f}s "
                     f"({tx} tx, {scenario.sim.events_executed} events)"
                 )
     wall_seconds = time.perf_counter() - campaign_started
+    if writer is not None:
+        writer.campaign_finished(ok=len(cells), failed=0, elapsed=wall_seconds)
+        writer.close()
     return {
         "cells": len(cells),
         "transactions_total": total_tx,
@@ -251,6 +296,7 @@ def run_perf(
     force: bool = False,
     progress: Optional[ProgressFn] = None,
     workers: Optional[int] = None,
+    journal: bool = False,
 ) -> Tuple[Dict[str, object], Optional[Path]]:
     """Measure ``campaigns`` and return ``(payload, written_path)``.
 
@@ -261,7 +307,10 @@ def run_perf(
     ``workers`` follows the campaign runner's resolution (explicit
     argument, else ``REPRO_WORKERS``, else 1) and is recorded in the
     payload's ``pinned`` section — bench files always disclose how
-    their rates were obtained.
+    their rates were obtained.  ``journal=True`` writes the
+    observability journal inside the timed region (into the artifact
+    store when ``artifact_root`` is given, else a scratch directory)
+    and is likewise disclosed as ``pinned.journal``.
     """
     workers = resolve_workers(workers)
     measured: Dict[str, object] = {}
@@ -278,6 +327,7 @@ def run_perf(
             store=store,
             progress=progress,
             workers=workers,
+            journal=journal,
         )
     out_dir = Path(output).parent if output else Path.cwd()
     if bench_id is None:
@@ -290,7 +340,12 @@ def run_perf(
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "pinned": {"transactions": transactions, "seed": seed, "workers": workers},
+        "pinned": {
+            "transactions": transactions,
+            "seed": seed,
+            "workers": workers,
+            "journal": journal,
+        },
         "campaigns": measured,
     }
     if baseline is not None:

@@ -35,7 +35,7 @@ Quick start::
         print(label, result.throughput_tpm())
 """
 
-from .progress import CampaignProgress, ProgressEvent
+from .progress import ETA_WINDOW, CampaignProgress, ProgressEvent
 from .runner import (
     ARTIFACT_DIR_ENV,
     WORKERS_ENV,
@@ -45,12 +45,14 @@ from .runner import (
     resolve_workers,
     run_campaign,
 )
-from .store import MANIFEST_NAME, ArtifactStore
+from .store import MANIFEST_NAME, ArtifactCollisionError, ArtifactStore
 
 __all__ = [
     "ARTIFACT_DIR_ENV",
+    "ETA_WINDOW",
     "MANIFEST_NAME",
     "WORKERS_ENV",
+    "ArtifactCollisionError",
     "ArtifactStore",
     "CampaignCell",
     "CampaignError",

@@ -68,7 +68,7 @@ axis overrides compose left to right: --set protocol=dbsm,primary-copy
 --transactions are sugar for the matching --set.
 """
 
-_SUBCOMMANDS = ("run", "list", "describe", "export", "report", "perf")
+_SUBCOMMANDS = ("run", "list", "describe", "export", "report", "serve", "perf")
 
 
 def _print_summary(campaign: CampaignResult) -> None:
@@ -134,6 +134,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         campaign=spec.name,
         progress=not args.quiet,
         manifest=spec.manifest(),
+        journal=False if args.no_journal else "auto",
     )
     _print_summary(campaign)
     return 0 if campaign.ok else 1
@@ -187,6 +188,27 @@ def _describe_value(name: str, value: object) -> str:
 def _cmd_report(args: argparse.Namespace) -> int:
     from ..analysis.report import run_report  # heavy path, load on use
 
+    if args.html or args.format == "html":
+        if any(
+            x is not None
+            for x in (args.by, args.pivot, args.compare, args.figure)
+        ):
+            raise ValueError(
+                "--html renders the full report page; it cannot be "
+                "combined with --by/--pivot/--compare/--figure"
+            )
+        from ..analysis.report import load_resultset
+        from ..dashboard.page import render_report_html
+
+        html = render_report_html(load_resultset(args.target))
+        if args.output:
+            Path(args.output).write_text(html)
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(html)
+        return 0
+    if args.output:
+        raise ValueError("-o/--output only applies to --html reports")
     print(
         run_report(
             args.target,
@@ -198,6 +220,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
             fmt=args.format,
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..core.env import env_str
+    from ..dashboard.server import serve_campaign  # heavy path, load on use
+
+    target = Path(args.target)
+    if not target.is_dir():
+        root = env_str("REPRO_ARTIFACT_DIR")
+        if root is not None and (Path(root) / args.target).is_dir():
+            target = Path(root) / args.target
+        else:
+            print(
+                f"note: {target} does not exist yet — serving anyway and "
+                "waiting for a campaign to write artifacts there",
+                file=sys.stderr,
+            )
+    serve_campaign(target, host=args.host, port=args.port)
     return 0
 
 
@@ -222,6 +263,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             force=args.force,
             progress=progress,
             workers=args.workers,
+            journal=args.journal,
         )
     except FileExistsError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -328,6 +370,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "paper count); sugar for --set transactions=N",
     )
     run_p.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="do not write the events.jsonl observability journal into "
+        "the artifact directory (results are bit-identical either way)",
+    )
+    run_p.add_argument(
         "--quiet", action="store_true", help="no progress lines"
     )
     run_p.set_defaults(func=_cmd_run)
@@ -398,11 +446,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report_p.add_argument(
         "--format",
-        choices=("text", "markdown", "csv", "json"),
+        choices=("text", "markdown", "csv", "json", "html"),
         default="text",
-        help="output encoding (default: text)",
+        help="output encoding (default: text); 'html' renders the "
+        "self-contained report page",
+    )
+    report_p.add_argument(
+        "--html",
+        action="store_true",
+        help="render one self-contained HTML report file "
+        "(sugar for --format html; byte-deterministic for fixed artifacts)",
+    )
+    report_p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the --html report to FILE instead of stdout",
     )
     report_p.set_defaults(func=_cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the live dashboard over a campaign artifact directory",
+    )
+    serve_p.add_argument(
+        "target",
+        help="artifact directory, or a campaign name resolved under "
+        "REPRO_ARTIFACT_DIR",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8035, help="bind port (default: 8035)"
+    )
+    serve_p.set_defaults(func=_cmd_serve)
 
     perf_p = sub.add_parser(
         "perf",
@@ -462,6 +541,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes per campaign (default: REPRO_WORKERS, "
         "else 1); recorded in the bench file's pinned section",
+    )
+    perf_p.add_argument(
+        "--journal",
+        action="store_true",
+        help="write the events.jsonl journal inside the timed region "
+        "(into --artifact-dir when given, else a scratch directory); "
+        "disclosed as pinned.journal",
     )
     perf_p.add_argument(
         "--force",

@@ -9,12 +9,17 @@ the tests observe scheduling without parsing output.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional, TextIO
+from typing import Callable, Deque, Optional, TextIO
 
-__all__ = ["ProgressEvent", "CampaignProgress"]
+__all__ = ["ETA_WINDOW", "ProgressEvent", "CampaignProgress"]
+
+#: How many recently *executed* cells feed the ETA rate estimate.
+ETA_WINDOW = 32
 
 
 @dataclass(frozen=True)
@@ -34,9 +39,15 @@ class ProgressEvent:
 class CampaignProgress:
     """Default progress printer: one line per finished cell with ETA.
 
-    The ETA assumes the remaining cells cost the mean of the cells
-    actually *executed* so far (artifact loads are free and excluded)
-    divided by the worker count — crude, but monotone and cheap.
+    The ETA assumes the remaining cells cost the mean of the cells in
+    the *executed window* — the last :data:`ETA_WINDOW` cells that
+    actually ran.  Cache-hit cells (``source == "artifact"``) complete
+    in ~0 s and never enter the window: on a resumed campaign they would
+    otherwise drag the per-cell estimate toward zero and report an ETA
+    of seconds for hours of remaining work.  The remaining cost is
+    rounded up to whole worker *waves* (``ceil(remaining / workers)``),
+    so a resumed campaign with fewer pending cells than workers predicts
+    one full cell, not a fraction of one.
     """
 
     def __init__(
@@ -45,6 +56,7 @@ class CampaignProgress:
         workers: int = 1,
         stream: Optional[TextIO] = None,
         clock: Callable[[], float] = time.perf_counter,
+        window: int = ETA_WINDOW,
     ):
         self.total = total
         self.workers = max(1, workers)
@@ -54,6 +66,7 @@ class CampaignProgress:
         self._done = 0
         self._executed = 0
         self._executed_seconds = 0.0
+        self._window: Deque[float] = deque(maxlen=max(1, window))
 
     # ------------------------------------------------------------------
     def event(self, label: str, status: str, source: str, duration: float) -> ProgressEvent:
@@ -62,6 +75,7 @@ class CampaignProgress:
         if source != "artifact":
             self._executed += 1
             self._executed_seconds += duration
+            self._window.append(duration)
         return ProgressEvent(
             label=label,
             status=status,
@@ -69,16 +83,22 @@ class CampaignProgress:
             done=self._done,
             total=self.total,
             duration=duration,
-            elapsed=self._clock() - self._started,
+            elapsed=self.elapsed(),
             eta=self.eta(),
         )
 
+    def elapsed(self) -> float:
+        """Wall seconds since the campaign started."""
+        return self._clock() - self._started
+
     def eta(self) -> Optional[float]:
-        if self._executed == 0:
-            return None
-        mean = self._executed_seconds / self._executed
+        if not self._window:
+            return None  # cache hits say nothing about cell cost
         remaining = self.total - self._done
-        return mean * remaining / self.workers
+        if remaining <= 0:
+            return 0.0
+        mean = sum(self._window) / len(self._window)
+        return mean * math.ceil(remaining / self.workers)
 
     # ------------------------------------------------------------------
     def __call__(self, event: ProgressEvent) -> None:

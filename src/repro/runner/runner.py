@@ -27,12 +27,13 @@ still completes.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..core.env import env_int, env_str
 from ..core.experiment import Scenario, ScenarioConfig, ScenarioResult
@@ -77,6 +78,9 @@ class CampaignCell:
     error: Optional[str]  # traceback text for failed cells
     duration: float  # wall seconds spent executing (0 for artifact loads)
     source: str  # "in-process" | "worker" | "artifact"
+    #: Pid of the process that executed the cell (None for artifact
+    #: loads and pool-level failures) — the journal's worker attribution.
+    worker: Optional[int] = None
 
 
 class CampaignResult:
@@ -130,18 +134,57 @@ def _resolve_store(
 
 def _execute_cell(
     label: str, config: ScenarioConfig
-) -> Tuple[str, Optional[dict], Optional[str], float]:
+) -> Tuple[str, Optional[dict], Optional[str], float, int]:
     """Worker-side entry point: run one cell, never raise.
 
     Results return as ``to_dict()`` payloads — live results hold
-    simulator entities that must not cross the process boundary.
+    simulator entities that must not cross the process boundary.  The
+    trailing pid attributes the cell to the worker that ran it.
     """
     started = time.perf_counter()
     try:
         result = Scenario(config).run()
-        return label, result.to_dict(), None, time.perf_counter() - started
+        return (
+            label,
+            result.to_dict(),
+            None,
+            time.perf_counter() - started,
+            os.getpid(),
+        )
     except BaseException:
-        return label, None, traceback.format_exc(), time.perf_counter() - started
+        return (
+            label,
+            None,
+            traceback.format_exc(),
+            time.perf_counter() - started,
+            os.getpid(),
+        )
+
+
+def _resolve_journal(
+    journal: object, store: Optional[ArtifactStore]
+) -> Tuple[Optional[object], bool]:
+    """``(writer, owned)`` for the ``journal`` argument.
+
+    ``"auto"`` enables the journal exactly when an artifact store is in
+    play (the journal lives in the artifact directory); ``True``
+    requires one; any other truthy value is used as a ready-made
+    :class:`~repro.dashboard.journal.JournalWriter`-shaped object the
+    caller owns (and closes)."""
+    if journal is None or journal is False:
+        return None, False
+    if journal == "auto" or journal is True:
+        if store is None:
+            if journal is True:
+                raise ValueError(
+                    "journal=True needs an artifact store — pass "
+                    "artifact_dir (or set REPRO_ARTIFACT_DIR)"
+                )
+            return None, False
+        from ..dashboard.journal import JournalWriter, journal_path
+
+        return JournalWriter(journal_path(store.root)), True
+    return journal, False
 
 
 def run_campaign(
@@ -151,6 +194,7 @@ def run_campaign(
     campaign: Optional[str] = None,
     progress: Union[bool, Callable[[ProgressEvent], None]] = False,
     manifest: Optional[Dict[str, object]] = None,
+    journal: object = "auto",
 ) -> CampaignResult:
     """Execute a labelled scenario grid, possibly in parallel.
 
@@ -164,6 +208,17 @@ def run_campaign(
     ``CampaignSpec.manifest()``) is recorded in the artifact store for
     provenance: a ``campaign.json`` file plus a ``spec_hash`` field on
     every cell artifact written during this run.
+
+    ``journal`` controls the ``events.jsonl`` observability journal in
+    the artifact directory (see :mod:`repro.dashboard.journal`):
+    ``"auto"`` (default) writes it whenever an artifact store is in
+    play, ``False``/``None`` disables it, ``True`` requires a store,
+    and a :class:`~repro.dashboard.journal.JournalWriter`-shaped object
+    is used as-is (and left open).  The journal is pure observability:
+    scenario results are bit-identical with it on or off.  A cell's
+    ``cell-finish`` event is emitted *after* its artifact is saved, so
+    a live dashboard that reacts to the event finds the artifact on
+    disk.
     """
     labelled = list(configs)
     seen: set = set()
@@ -176,6 +231,7 @@ def run_campaign(
     store = _resolve_store(artifact_dir, campaign)
     if store is not None and manifest is not None:
         store.write_manifest(manifest)
+    writer, owns_writer = _resolve_journal(journal, store)
     reporter = CampaignProgress(total=len(labelled), workers=workers)
     if progress is True:
         on_event: Optional[Callable[[ProgressEvent], None]] = reporter
@@ -187,6 +243,15 @@ def run_campaign(
     cells: Dict[str, CampaignCell] = {}
     requested: Dict[str, ScenarioConfig] = dict(labelled)
 
+    if writer is not None:
+        name = campaign or (manifest or {}).get("campaign") or ""
+        writer.campaign_started(
+            campaign=str(name),
+            total=len(labelled),
+            workers=workers,
+            spec_hash=(manifest or {}).get("spec_hash"),
+        )
+
     def finish(cell: CampaignCell) -> None:
         cells[cell.label] = cell
         if store is not None and cell.status == "ok" and cell.source != "artifact":
@@ -194,33 +259,71 @@ def run_campaign(
             # crossed the process boundary lost any custom profiles
             store.save(cell.label, cell.result, config=requested[cell.label])
         event = reporter.event(cell.label, cell.status, cell.source, cell.duration)
+        if writer is not None:
+            violations = (
+                cell.result.violations if cell.result is not None else []
+            )
+            writer.cell_finished(
+                label=cell.label,
+                status=cell.status,
+                source=cell.source,
+                duration=cell.duration,
+                worker=cell.worker,
+                done=event.done,
+                total=event.total,
+                eta=event.eta,
+                elapsed=event.elapsed,
+                violations=len(violations),
+            )
+            if cell.source != "artifact":
+                # flush-through: violations from resumed cells were
+                # already journalled by the run that executed them
+                for violation in violations:
+                    writer.violation(cell.label, violation)
         if on_event is not None:
             on_event(event)
 
-    # -- resume: load completed cells from the artifact store -----------
-    pending: List[Tuple[str, ScenarioConfig]] = []
-    for label, config in labelled:
-        cached = store.load(label, config) if store is not None else None
-        if cached is not None:
-            finish(CampaignCell(label, "ok", cached, None, 0.0, "artifact"))
+    on_start = writer.cell_started if writer is not None else None
+
+    try:
+        # -- resume: load completed cells from the artifact store -------
+        pending: List[Tuple[str, ScenarioConfig]] = []
+        for label, config in labelled:
+            cached = store.load(label, config) if store is not None else None
+            if cached is not None:
+                finish(CampaignCell(label, "ok", cached, None, 0.0, "artifact"))
+            else:
+                pending.append((label, config))
+
+        if workers <= 1:
+            _run_in_process(pending, finish, on_start)
         else:
-            pending.append((label, config))
+            _run_in_pool(pending, workers, finish, on_start)
 
-    if workers <= 1:
-        _run_in_process(pending, finish)
-    else:
-        _run_in_pool(pending, workers, finish)
-
-    return CampaignResult([cells[label] for label, _ in labelled])
+        result = CampaignResult([cells[label] for label, _ in labelled])
+        if writer is not None:
+            writer.campaign_finished(
+                ok=len(result.cells) - len(result.failures),
+                failed=len(result.failures),
+                elapsed=reporter.elapsed(),
+            )
+        return result
+    finally:
+        if owns_writer and writer is not None:
+            writer.close()
 
 
 def _run_in_process(
     pending: List[Tuple[str, ScenarioConfig]],
     finish: Callable[[CampaignCell], None],
+    on_start: Optional[Callable[[str], None]] = None,
 ) -> None:
     """Sequential path: identical to the legacy ``run_grid`` loop, with
     per-cell failure isolation."""
+    pid = os.getpid()
     for label, config in pending:
+        if on_start is not None:
+            on_start(label)
         started = time.perf_counter()
         try:
             result = Scenario(config).run()
@@ -233,6 +336,7 @@ def _run_in_process(
                     traceback.format_exc(),
                     time.perf_counter() - started,
                     "in-process",
+                    pid,
                 )
             )
         else:
@@ -244,6 +348,7 @@ def _run_in_process(
                     None,
                     time.perf_counter() - started,
                     "in-process",
+                    pid,
                 )
             )
 
@@ -252,49 +357,79 @@ def _run_in_pool(
     pending: List[Tuple[str, ScenarioConfig]],
     workers: int,
     finish: Callable[[CampaignCell], None],
+    on_start: Optional[Callable[[str], None]] = None,
 ) -> None:
     """Process-pool path with crash isolation.
 
+    Submission is *bounded*: at most ``workers`` cells are in flight, and
+    a new cell is submitted only as another completes — so a journal
+    ``cell-start`` event (emitted at submission) approximates when the
+    cell actually begins executing, instead of firing for the whole grid
+    up front.
+
     ``_execute_cell`` catches everything that happens *inside* a worker;
-    the except branch here additionally absorbs pool-level failures (a
+    the except branches here additionally absorb pool-level failures (a
     worker process dying takes the executor down — every outstanding
-    future then resolves to a failed cell instead of killing the
-    campaign)."""
+    future, and every not-yet-submitted cell, then resolves to a failed
+    cell instead of killing the campaign)."""
     if not pending:
         return
+    queue: Iterator[Tuple[str, ScenarioConfig]] = iter(pending)
     with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-        futures = {
-            pool.submit(_execute_cell, label, config): label
-            for label, config in pending
-        }
-        outstanding = set(futures)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                label = futures[future]
+        futures: Dict[object, str] = {}
+
+        def submit_next() -> None:
+            for label, config in queue:
+                if on_start is not None:
+                    on_start(label)
                 try:
-                    _, payload, error, duration = future.result()
-                except BaseException as exc:  # BrokenProcessPool and kin
+                    futures[pool.submit(_execute_cell, label, config)] = label
+                except BaseException as exc:  # executor already broken
                     finish(
                         CampaignCell(
                             label, "failed", None, repr(exc), 0.0, "worker"
                         )
                     )
                     continue
-                if error is not None:
+                return
+
+        for _ in range(min(workers, len(pending))):
+            submit_next()
+        while futures:
+            done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                label = futures.pop(future)
+                try:
+                    _, payload, error, duration, pid = future.result()
+                except BaseException as exc:  # BrokenProcessPool and kin
                     finish(
                         CampaignCell(
-                            label, "failed", None, error, duration, "worker"
+                            label, "failed", None, repr(exc), 0.0, "worker"
                         )
                     )
                 else:
-                    finish(
-                        CampaignCell(
-                            label,
-                            "ok",
-                            ScenarioResult.from_dict(payload),
-                            None,
-                            duration,
-                            "worker",
+                    if error is not None:
+                        finish(
+                            CampaignCell(
+                                label,
+                                "failed",
+                                None,
+                                error,
+                                duration,
+                                "worker",
+                                pid,
+                            )
                         )
-                    )
+                    else:
+                        finish(
+                            CampaignCell(
+                                label,
+                                "ok",
+                                ScenarioResult.from_dict(payload),
+                                None,
+                                duration,
+                                "worker",
+                                pid,
+                            )
+                        )
+                submit_next()

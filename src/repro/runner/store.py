@@ -21,21 +21,39 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.experiment import ScenarioConfig, ScenarioResult
 
-__all__ = ["ArtifactStore", "MANIFEST_NAME"]
+__all__ = ["ArtifactCollisionError", "ArtifactStore", "MANIFEST_NAME"]
 
 #: Campaign-level provenance file inside the store root.
 MANIFEST_NAME = "campaign.json"
 
 
 def _slug(label: str) -> str:
-    """Filesystem-safe, collision-free file stem for a cell label."""
+    """Filesystem-safe file stem for a cell label.
+
+    The punctuation squash alone is lossy (``"a b"`` and ``"a/b"`` both
+    squash to ``a-b``), so a truncated label digest disambiguates.  The
+    digest is 32 bits — ample for campaign-sized label sets, but not a
+    mathematical guarantee — so the store additionally *detects*
+    stem collisions (see :class:`ArtifactCollisionError`) instead of
+    letting two labels silently overwrite each other's artifacts.
+    """
     safe = re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-") or "cell"
     digest = hashlib.sha1(label.encode()).hexdigest()[:8]
     return f"{safe}-{digest}"
+
+
+class ArtifactCollisionError(RuntimeError):
+    """Two different cell labels mapped to the same artifact file.
+
+    Deliberately *not* a ValueError: the store's tolerant load paths
+    swallow ValueError (corrupt artifacts are simply re-run), and a
+    collision must never be swallowed — it means one label's results
+    would silently overwrite another's.
+    """
 
 
 class ArtifactStore:
@@ -47,9 +65,51 @@ class ArtifactStore:
         #: Content hash of the campaign spec being executed, if any;
         #: stamped onto every artifact written while it is set.
         self.spec_hash: Optional[str] = None
+        #: file stem -> label that claimed it (collision detection).
+        self._claims: Dict[str, str] = {}
 
     def path_for(self, label: str) -> Path:
-        return self.root / f"{_slug(label)}.json"
+        stem = _slug(label)
+        claimed = self._claims.setdefault(stem, label)
+        if claimed != label:
+            raise ArtifactCollisionError(
+                f"cell labels {claimed!r} and {label!r} both map to "
+                f"artifact stem {stem!r} — rename one of the labels"
+            )
+        return self.root / f"{stem}.json"
+
+    # -- incremental listing -------------------------------------------
+    def list_cells(self) -> List[Tuple[Path, int, int]]:
+        """Every cell artifact as ``(path, mtime_ns, size)``, sorted by
+        file name.
+
+        The stat triple is the incremental-scan key the dashboard uses:
+        an artifact whose triple is unchanged since the last scan need
+        not be re-read.  Files that vanish between the listing and the
+        stat (a writer's atomic replace) are skipped.
+        """
+        out: List[Tuple[Path, int, int]] = []
+        for path in sorted(self.root.glob("*.json")):
+            if path.name == MANIFEST_NAME:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((path, stat.st_mtime_ns, stat.st_size))
+        return out
+
+    @staticmethod
+    def read_payload(path: Union[str, Path]) -> Optional[dict]:
+        """The raw JSON payload of one cell artifact, or None when the
+        file is unreadable, corrupt, or not a cell artifact."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or "result" not in data:
+            return None
+        return data
 
     # -- provenance ----------------------------------------------------
     def write_manifest(self, manifest: dict) -> Path:
@@ -74,14 +134,28 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     def load(self, label: str, config: ScenarioConfig) -> Optional[ScenarioResult]:
         """The stored result for ``label``, or None if absent, corrupt,
-        or recorded under a different configuration."""
+        or recorded under a different configuration.
+
+        A readable artifact recorded under a *different label* raises
+        :class:`ArtifactCollisionError`: it means two labels share one
+        file stem, and re-running (the treatment for every other
+        mismatch) would overwrite the other label's results."""
         path = self.path_for(label)
         if not path.exists():
             return None
         try:
             data = json.loads(path.read_text())
-            if data.get("label") != label:
-                return None
+        except (OSError, ValueError):
+            return None  # unreadable artifacts are simply re-run
+        if not isinstance(data, dict):
+            return None
+        if "label" in data and data["label"] != label:
+            raise ArtifactCollisionError(
+                f"artifact {path} belongs to cell {data['label']!r} but "
+                f"was looked up for {label!r} — two labels collide on "
+                "one artifact file stem; rename one of the labels"
+            )
+        try:
             stored_config = data.get("config")
             if isinstance(stored_config, dict):
                 # Artifacts recorded before the protocol field existed
@@ -110,8 +184,22 @@ class ArtifactStore:
         ``config`` should be the *requested* configuration when the
         result crossed a process boundary: deserialized results carry a
         config whose custom profiles were reduced to ``None``, which
-        must not be recorded as the match key."""
+        must not be recorded as the match key.
+
+        Refuses (:class:`ArtifactCollisionError`) to overwrite an
+        existing artifact recorded under a different label — the
+        cross-process half of stem-collision detection (``path_for``
+        catches collisions within one store instance)."""
         path = self.path_for(label)
+        if path.exists():
+            existing = self.read_payload(path)
+            recorded = existing.get("label") if existing else None
+            if recorded is not None and recorded != label:
+                raise ArtifactCollisionError(
+                    f"refusing to overwrite {path}: it holds cell "
+                    f"{recorded!r}, but {label!r} maps to the same "
+                    "artifact file stem; rename one of the labels"
+                )
         match_config = config if config is not None else result.config
         payload = {
             "label": label,

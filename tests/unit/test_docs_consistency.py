@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import available_metric_families, available_metrics
 from repro.campaigns import available_campaigns
 from repro.core.faults import FAULT_ACTIONS
+from repro.dashboard.server import ENDPOINTS as DASHBOARD_ENDPOINTS
 from repro.monitors import available_monitors
 from repro.protocols import available_protocols
 
@@ -67,10 +68,19 @@ class TestReadme:
         )
 
     def test_subcommand_cli_documented(self):
-        for subcommand in ("run", "list", "describe", "export", "report"):
+        for subcommand in ("run", "list", "describe", "export", "report",
+                           "serve", "perf"):
             assert f"repro.runner {subcommand}" in README, (
                 f"CLI subcommand {subcommand!r} missing from README.md"
             )
+
+    @pytest.mark.parametrize("endpoint", sorted(DASHBOARD_ENDPOINTS))
+    def test_dashboard_endpoints_in_table(self, endpoint):
+        """The README "Watching campaigns live" endpoint table must not
+        drift from the server's routing table."""
+        assert f"`{endpoint}`" in README, (
+            f"dashboard endpoint {endpoint!r} missing from README.md"
+        )
 
     @pytest.mark.parametrize("metric", DOCUMENTED_METRICS)
     def test_registered_metrics_in_table(self, metric):
@@ -122,6 +132,14 @@ class TestArchitecture:
         assert f"| `{monitor}` |" in ARCHITECTURE, (
             f"monitor {monitor!r} missing from the ARCHITECTURE "
             "monitor table"
+        )
+
+    @pytest.mark.parametrize("endpoint", sorted(DASHBOARD_ENDPOINTS))
+    def test_dashboard_endpoints_in_table(self, endpoint):
+        """The ARCHITECTURE dashboard endpoint table must not drift
+        from the server's routing table."""
+        assert f"`{endpoint}`" in ARCHITECTURE, (
+            f"dashboard endpoint {endpoint!r} missing from ARCHITECTURE.md"
         )
 
     def test_lifecycle_walkthrough_present(self):

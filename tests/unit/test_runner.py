@@ -6,6 +6,8 @@ import pytest
 
 from repro.core.experiment import Scenario, ScenarioConfig
 from repro.runner import (
+    ETA_WINDOW,
+    ArtifactCollisionError,
     ArtifactStore,
     CampaignCell,
     CampaignError,
@@ -89,6 +91,39 @@ class TestArtifactStore:
         assert data["config"]["seed"] == config.seed
 
 
+class TestArtifactCollisions:
+    """Stem collisions raise loudly instead of overwriting artifacts."""
+
+    @pytest.fixture
+    def collide(self, monkeypatch):
+        """Force every label onto one artifact file stem."""
+        monkeypatch.setattr("repro.runner.store._slug", lambda label: "same")
+
+    def test_path_for_detects_claim_conflict(self, tmp_path, collide):
+        store = ArtifactStore(tmp_path)
+        store.path_for("first")
+        with pytest.raises(ArtifactCollisionError, match="rename one"):
+            store.path_for("second")
+
+    def test_save_refuses_cross_process_overwrite(self, tmp_path, collide):
+        ArtifactStore(tmp_path).save("first", Scenario(tiny_config()).run())
+        # a fresh store (another process) has no claim registry
+        with pytest.raises(ArtifactCollisionError, match="refusing to overwrite"):
+            ArtifactStore(tmp_path).save("second", Scenario(tiny_config()).run())
+
+    def test_load_raises_on_label_mismatch(self, tmp_path, collide):
+        config = tiny_config()
+        ArtifactStore(tmp_path).save("first", Scenario(config).run())
+        with pytest.raises(ArtifactCollisionError, match="collide"):
+            ArtifactStore(tmp_path).load("second", config)
+
+    def test_collision_is_not_a_value_error(self):
+        # the tolerant load paths swallow ValueError (corrupt artifacts
+        # are re-run); a collision must never ride that path
+        assert not issubclass(ArtifactCollisionError, ValueError)
+        assert issubclass(ArtifactCollisionError, RuntimeError)
+
+
 class TestCampaignProgress:
     def test_eta_uses_executed_cells_only(self):
         clock = iter([0.0, 1.0, 2.0, 3.0]).__next__
@@ -103,6 +138,45 @@ class TestCampaignProgress:
         progress = CampaignProgress(total=5, workers=4)
         progress.event("a", "ok", "worker", 8.0)
         assert progress.eta() == pytest.approx(8.0 * 4 / 4)
+
+    def test_eta_unskewed_by_resumed_cache_hits(self):
+        """A resumed campaign's ~0s cache hits must not drag the ETA.
+
+        90 of 100 cells resume from artifacts in ~0s; the two that
+        execute cost 10s each.  The naive mean over all finished cells
+        (~0.2s/cell) would predict ~2s for the remaining 8 cells; the
+        executed-window estimate predicts the honest 80s.
+        """
+        progress = CampaignProgress(total=100, workers=1)
+        for i in range(90):
+            progress.event(f"cached{i}", "ok", "artifact", 0.0)
+        assert progress.eta() is None  # nothing executed yet
+        progress.event("run0", "ok", "in-process", 10.0)
+        progress.event("run1", "ok", "in-process", 10.0)
+        assert progress.eta() == pytest.approx(10.0 * 8)
+
+    def test_eta_rounds_resumed_tail_up_to_one_wave(self):
+        """Fewer pending cells than workers still costs one full wave."""
+        progress = CampaignProgress(total=10, workers=4)
+        for i in range(7):
+            progress.event(f"cached{i}", "ok", "artifact", 0.0)
+        progress.event("run", "ok", "worker", 6.0)
+        # 2 cells remain on 4 workers: one wave, not 2/4 of a cell
+        assert progress.eta() == pytest.approx(6.0)
+
+    def test_eta_window_forgets_ancient_cells(self):
+        """Only the last ETA_WINDOW executed cells feed the estimate."""
+        progress = CampaignProgress(total=2 * ETA_WINDOW + 1, workers=1)
+        progress.event("slow", "ok", "in-process", 100.0)
+        for i in range(ETA_WINDOW):
+            progress.event(f"fast{i}", "ok", "in-process", 1.0)
+        remaining = progress.total - ETA_WINDOW - 1
+        assert progress.eta() == pytest.approx(1.0 * remaining)
+
+    def test_elapsed_tracks_the_clock(self):
+        clock = iter([0.0, 2.5]).__next__
+        progress = CampaignProgress(total=1, workers=1, clock=clock)
+        assert progress.elapsed() == pytest.approx(2.5)
 
     def test_printer_emits_one_line_per_cell(self, capsys):
         import sys
